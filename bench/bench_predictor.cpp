@@ -1,0 +1,87 @@
+// bench_predictor — google-benchmark micro-costs of the predictors.
+//
+// Host-side analogue of Table IV: how expensive is one Observe+PredictNext
+// as K, D, and the predictor family vary.  (Absolute host numbers are not
+// the MCU numbers — those come from repro_table4 — but the scaling with K
+// must match.)
+#include <benchmark/benchmark.h>
+
+#include "core/baselines.hpp"
+#include "core/ewma.hpp"
+#include "core/wcma.hpp"
+#include "core/wcma_fixed.hpp"
+#include "solar/synth.hpp"
+#include "timeseries/slotting.hpp"
+
+namespace {
+
+using namespace shep;
+
+const SlotSeries& Series48() {
+  static const SlotSeries* series = [] {
+    SynthOptions opt;
+    opt.days = 40;
+    static const PowerTrace trace =
+        SynthesizeTrace(SiteByCode("ECSU"), opt);
+    return new SlotSeries(trace, 48);
+  }();
+  return *series;
+}
+
+void RunLoop(Predictor& p, benchmark::State& state) {
+  const auto& s = Series48();
+  std::size_t g = 0;
+  double acc = 0.0;
+  for (auto _ : state) {
+    p.Observe(s.boundary(g));
+    acc += p.PredictNext();
+    g = (g + 1) % s.size();
+    if (g == 0) p.Reset();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+
+void BM_WcmaByK(benchmark::State& state) {
+  WcmaParams p;
+  p.alpha = 0.7;
+  p.days = 20;
+  p.slots_k = static_cast<int>(state.range(0));
+  Wcma predictor(p, 48);
+  RunLoop(predictor, state);
+}
+BENCHMARK(BM_WcmaByK)->DenseRange(1, 6, 1);
+
+void BM_WcmaByD(benchmark::State& state) {
+  WcmaParams p;
+  p.alpha = 0.7;
+  p.days = static_cast<int>(state.range(0));
+  p.slots_k = 2;
+  Wcma predictor(p, 48);
+  RunLoop(predictor, state);
+}
+BENCHMARK(BM_WcmaByD)->Arg(2)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_FixedWcma(benchmark::State& state) {
+  WcmaParams p;
+  p.alpha = 0.7;
+  p.days = 20;
+  p.slots_k = static_cast<int>(state.range(0));
+  FixedWcma predictor(p, 48);
+  RunLoop(predictor, state);
+}
+BENCHMARK(BM_FixedWcma)->Arg(1)->Arg(3)->Arg(6);
+
+void BM_Ewma(benchmark::State& state) {
+  Ewma predictor(0.5, 48);
+  RunLoop(predictor, state);
+}
+BENCHMARK(BM_Ewma);
+
+void BM_Persistence(benchmark::State& state) {
+  Persistence predictor;
+  RunLoop(predictor, state);
+}
+BENCHMARK(BM_Persistence);
+
+}  // namespace

@@ -1,0 +1,69 @@
+// bench_sweep — google-benchmark throughput of the design-exploration
+// engine: the per-stage costs (BuildD / BuildQ / Score) and the full-grid
+// sweep that generates the paper's Tables II/III.
+#include <benchmark/benchmark.h>
+
+#include "solar/synth.hpp"
+#include "sweep/sweep.hpp"
+
+namespace {
+
+using namespace shep;
+
+const SweepContext& Ctx48() {
+  static const SweepContext* ctx = [] {
+    SynthOptions opt;
+    opt.days = 60;
+    const auto trace = SynthesizeTrace(SiteByCode("ORNL"), opt);
+    return new SweepContext(trace, 48);
+  }();
+  return *ctx;
+}
+
+void BM_BuildD(benchmark::State& state) {
+  for (auto _ : state) {
+    auto d = Ctx48().BuildD(static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(d.eta.data());
+  }
+}
+BENCHMARK(BM_BuildD)->Arg(2)->Arg(10)->Arg(20);
+
+void BM_BuildQ(benchmark::State& state) {
+  const auto d = Ctx48().BuildD(20);
+  for (auto _ : state) {
+    auto q = Ctx48().BuildQ(d, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_BuildQ)->DenseRange(1, 6, 1);
+
+void BM_ScoreAlpha(benchmark::State& state) {
+  const auto d = Ctx48().BuildD(20);
+  const auto q = Ctx48().BuildQ(d, 3);
+  for (auto _ : state) {
+    auto s = Ctx48().Score(q, 0.7);
+    benchmark::DoNotOptimize(s.mean.mape);
+  }
+}
+BENCHMARK(BM_ScoreAlpha);
+
+void BM_FullGridSerial(benchmark::State& state) {
+  const auto grid = ParamGrid::Coarse();
+  for (auto _ : state) {
+    auto r = SweepWcma(Ctx48(), grid);
+    benchmark::DoNotOptimize(r.points.data());
+  }
+}
+BENCHMARK(BM_FullGridSerial)->Unit(benchmark::kMillisecond);
+
+void BM_FullGridParallel(benchmark::State& state) {
+  const auto grid = ParamGrid::Coarse();
+  ThreadPool pool;
+  for (auto _ : state) {
+    auto r = SweepWcma(Ctx48(), grid, {}, &pool);
+    benchmark::DoNotOptimize(r.points.data());
+  }
+}
+BENCHMARK(BM_FullGridParallel)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,58 @@
+// bench_vm — google-benchmark of the MicroVm interpreter and the WCMA
+// prediction routine it executes (host-side speed; the modelled MCU cycle
+// counts are what repro_table4 reports).
+#include <benchmark/benchmark.h>
+
+#include "hw/predictor_program.hpp"
+#include "hw/vm.hpp"
+
+namespace {
+
+using namespace shep;
+
+WcmaVmInputs Inputs(int k) {
+  WcmaVmInputs in;
+  in.sample = 0.9;
+  in.mu_next = 1.0;
+  for (int i = 0; i < k; ++i) {
+    in.recent_samples.push_back(0.8);
+    in.recent_mus.push_back(0.95);
+  }
+  return in;
+}
+
+void BM_WcmaRoutineByK(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  WcmaProgramLayout layout;
+  layout.slots_k = k;
+  layout.alpha = 0.7;
+  const auto in = Inputs(k);
+  double modelled_cycles = 0.0;
+  for (auto _ : state) {
+    const auto run = RunWcmaOnVm(layout, in);
+    modelled_cycles = run.vm.cycles;
+    benchmark::DoNotOptimize(run.prediction);
+  }
+  state.counters["modelled_msp430_cycles"] = modelled_cycles;
+}
+BENCHMARK(BM_WcmaRoutineByK)->DenseRange(1, 7, 1);
+
+void BM_InterpreterLoop(benchmark::State& state) {
+  // Tight arithmetic loop to measure raw interpreter dispatch cost.
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 0.0},    {Op::kLoadImm, 1, 0, 0, 1000.0},
+      {Op::kLoadImm, 2, 0, 0, 0.0},    {Op::kLoadImm, 3, 0, 0, 1.0},
+      {Op::kAdd, 0, 0, 3, 0.0},        {Op::kSub, 1, 1, 3, 0.0},
+      {Op::kJgt, 4, 1, 2, 0.0},        {Op::kStore, 0, 0, 0, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  for (auto _ : state) {
+    const auto r = vm.Run(prog, 100000);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 3000);
+}
+BENCHMARK(BM_InterpreterLoop);
+
+}  // namespace

@@ -1,0 +1,85 @@
+// ext_dynamic — the paper's future work, built: a realizable dynamic
+// (α, K) selector (core/adaptive.hpp) benchmarked against the static
+// optimum and the clairvoyant oracle of Table V.
+//
+// Paper Sec. IV-C closes with: "These results show that it is promising to
+// develop dynamic parameters selection algorithms that can achieve less
+// than 10% average error without the need to use higher sampling rates."
+// This harness answers the question the paper leaves open — how much of
+// the clairvoyant gain can a causal selector actually bank?
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "core/adaptive.hpp"
+#include "report/table.hpp"
+#include "repro_common.hpp"
+#include "sweep/dynamic.hpp"
+#include "sweep/sweep.hpp"
+
+int main() {
+  using namespace shep;
+  repro::Banner("Extension (paper Sec. IV-C future work)",
+                "realizable dynamic (alpha, K) selection");
+
+  const auto traces = repro::PaperTraces();
+  const auto grid = ParamGrid::Paper();
+  const auto filter = repro::PaperFilter();
+  ThreadPool pool;
+  constexpr int kD = 10;  // the paper's memory guideline
+
+  TableBuilder table(
+      "Static optimum vs realizable adaptive vs clairvoyant oracle "
+      "(N = 48, D = 10 for adaptive/oracle)");
+  table.Columns({"Data Set", "Static MAPE", "Adaptive MAPE", "Oracle K+a",
+                 "oracle gain captured", "top (a,K) chosen"});
+
+  for (const auto& trace : traces) {
+    const SweepContext ctx(trace, 48);
+    const auto sweep = SweepWcma(ctx, grid, filter, &pool);
+    const double static_mape = sweep.BestByMape().mean_stats.mape;
+    const auto oracle = EvaluateDynamic(ctx, kD, grid, filter);
+
+    AdaptiveWcmaParams ap;
+    ap.days = kD;
+    AdaptiveWcma adaptive(ap, 48);
+    const SlotSeries series(trace, 48);
+    const double adaptive_mape =
+        ScorePredictor(adaptive, series, ErrorTarget::kSlotMean, filter)
+            .mape;
+
+    // Which candidate won most of the time?
+    const auto& counts = adaptive.selection_counts();
+    std::size_t top = 0;
+    for (std::size_t c = 1; c < counts.size(); ++c) {
+      if (counts[c] > counts[top]) top = c;
+    }
+    const double top_alpha = ap.alphas[top / ap.ks.size()];
+    const int top_k = ap.ks[top % ap.ks.size()];
+    const double top_share =
+        static_cast<double>(counts[top]) /
+        static_cast<double>(series.size());
+
+    // Fraction of the (static - oracle) gap the causal selector closed.
+    const double gap = static_mape - oracle.both_mape;
+    const double captured =
+        gap > 1e-12 ? (static_mape - adaptive_mape) / gap : 0.0;
+
+    table.AddRow({trace.name(), FormatPercent(static_mape),
+                  FormatPercent(adaptive_mape),
+                  FormatPercent(oracle.both_mape),
+                  FormatPercent(captured, 0),
+                  "a=" + FormatFixed(top_alpha, 1) + ",K=" +
+                      std::to_string(top_k) + " (" +
+                      FormatPercent(top_share, 0) + ")"});
+  }
+  std::cout << table.ToString();
+
+  std::cout
+      << "\nReading: the oracle is a hindsight bound, so 'captured' "
+         "fractions are expected to be modest — the selector's real value "
+         "is robustness: it tracks the best static configuration per site "
+         "WITHOUT per-site tuning (compare the Adaptive column against "
+         "Table III's per-site optima), which is precisely the deployment "
+         "problem the paper's guidelines try to solve by hand.\n";
+  return 0;
+}

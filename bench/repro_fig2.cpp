@@ -1,0 +1,64 @@
+// repro_fig2 — Fig. 2: "Solar energy measured on 6 days showing variation
+// in energy received during different times in a day and across days.
+// Each point represents energy received during a 5 minutes interval."
+//
+// We render six consecutive spring days of the SPMD-like trace as (a) a
+// terminal chart, (b) per-day sparklines + daily energy totals, and (c)
+// CSV for external plotting.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "report/figure.hpp"
+#include "repro_common.hpp"
+#include "timeseries/trace.hpp"
+
+int main() {
+  using namespace shep;
+  repro::Banner("Figure 2", "six days of 5-minute solar energy");
+
+  SynthOptions opt;
+  opt.days = std::max<std::size_t>(repro::TraceDays(), 66);
+  const auto trace = SynthesizeTrace(SiteByCode("SPMD"), opt);
+
+  constexpr std::size_t kFirstDay = 60;  // late winter/early spring mix
+  constexpr std::size_t kDays = 6;
+
+  // Energy per 5-minute interval (J) across the 6 days, like the figure.
+  Series series;
+  series.name = "energy per 5-min interval (J), SPMD days 61-66";
+  for (std::size_t d = 0; d < kDays; ++d) {
+    const auto day = trace.day(kFirstDay + d);
+    for (std::size_t i = 0; i < day.size(); ++i) {
+      series.x.push_back(static_cast<double>(d * day.size() + i));
+      series.y.push_back(day[i] * trace.resolution_s());
+    }
+  }
+  std::cout << AsciiChart(series, 72, 16) << "\n";
+
+  std::cout << "Per-day profiles (sparkline of 5-min energy) and totals:\n";
+  for (std::size_t d = 0; d < kDays; ++d) {
+    const auto day = trace.day(kFirstDay + d);
+    std::vector<double> energy(day.size());
+    for (std::size_t i = 0; i < day.size(); ++i) {
+      energy[i] = day[i] * trace.resolution_s();
+    }
+    std::cout << "  day " << (kFirstDay + d + 1) << ": "
+              << Sparkline(energy) << "  total "
+              << FormatFixed(trace.day_energy_j(kFirstDay + d) / 1000.0, 1)
+              << " kJ\n";
+  }
+
+  std::cout << "\nCSV (first 24 rows shown; full series has "
+            << series.x.size() << " rows):\n";
+  Series head;
+  head.name = series.name;
+  for (std::size_t i = 0; i < 24; ++i) {
+    head.x.push_back(series.x[i]);
+    head.y.push_back(series.y[i]);
+  }
+  std::cout << SeriesCsv({head});
+  std::cout << "\nShape check vs the paper: pronounced diurnal bells whose\n"
+               "height varies strongly across days, with ragged intra-day\n"
+               "dips on partly-cloudy days.\n";
+  return 0;
+}

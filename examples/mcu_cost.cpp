@@ -1,0 +1,77 @@
+// mcu_cost — estimating deployment energy cost before flashing hardware.
+//
+// Given a candidate configuration (N, α, D, K), how much battery does the
+// prediction machinery itself consume per day on an MSP430-class node, and
+// how does it split between sampling, computing, and sleeping?  This is
+// the library's answer to the paper's Table IV / Fig. 6 workflow, exposed
+// as a what-if tool.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "hw/energy_model.hpp"
+#include "hw/predictor_program.hpp"
+#include "report/table.hpp"
+#include "solar/synth.hpp"
+
+int main() {
+  using namespace shep;
+
+  const McuPowerSpec spec;  // MSP430F1611 @ 3 V / 5 MHz
+  const CycleCosts costs;
+
+  std::cout << "Platform: " << spec.supply_v << " V, "
+            << spec.clock_hz / 1e6 << " MHz, "
+            << FormatFixed(spec.ActiveCycleEnergyJ() * 1e9, 2)
+            << " nJ/cycle, ADC sample "
+            << FormatFixed(spec.AdcSampleEnergyJ() * 1e6, 1) << " uJ\n\n";
+
+  // Measure the op mix of the candidate configurations on plausible data.
+  SynthOptions options;
+  options.days = 40;
+  const auto trace = SynthesizeTrace(SiteByCode("NPCS"), options);
+
+  TableBuilder table("Daily energy of the management activity");
+  table.Columns({"N", "K", "prediction/wakeup", "mgmt/day", "sleep/day",
+                 "overhead"});
+  for (int n : {24, 48, 96}) {
+    for (int k : {1, 2, 4}) {
+      WcmaParams p;
+      p.alpha = 0.7;
+      p.days = 10;
+      p.slots_k = k;
+      const auto ops = MeasureWakeupOps(p, trace, n).full_work;
+      const auto act = ComputeActivityEnergy(spec, costs, ops);
+      const auto budget = ComputeDayBudget(spec, costs, act, n, ops);
+      table.AddRow({std::to_string(n), std::to_string(k),
+                    FormatFixed(act.prediction_j * 1e6, 1) + " uJ",
+                    FormatFixed(budget.management_j() * 1e3, 2) + " mJ",
+                    FormatFixed(budget.sleep_j * 1e3, 0) + " mJ",
+                    FormatFixed(budget.OverheadPercent(), 2) + "%"});
+    }
+  }
+  std::cout << table.ToString();
+
+  // Cross-check one configuration by actually executing the routine on
+  // the cycle-counted MicroVm.
+  WcmaProgramLayout layout;
+  layout.slots_k = 2;
+  layout.alpha = 0.7;
+  WcmaVmInputs in;
+  in.sample = 0.9;
+  in.mu_next = 1.0;
+  in.recent_samples = {0.85, 0.9};
+  in.recent_mus = {0.95, 0.97};
+  const auto run = RunWcmaOnVm(layout, in, costs);
+  std::cout << "\nMicroVm cross-check (K=2, a=0.7): "
+            << run.vm.instructions << " instructions, "
+            << FormatFixed(run.vm.cycles, 0) << " modelled cycles = "
+            << FormatFixed((run.vm.cycles + costs.wakeup_overhead) *
+                               spec.ActiveCycleEnergyJ() * 1e6,
+                           2)
+            << " uJ per prediction (prediction value "
+            << FormatFixed(run.prediction, 3) << " W)\n";
+  std::cout << "\nRule of thumb from the paper (validated above): sampling\n"
+               "dominates prediction; even at high rates the whole\n"
+               "management activity is a few percent of sleep energy.\n";
+  return 0;
+}

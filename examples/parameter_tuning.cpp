@@ -1,0 +1,63 @@
+// parameter_tuning — how to tune (α, D, K) for YOUR deployment site.
+//
+// Walks the workflow of the paper's Sec. IV-B on one site: sweep the grid,
+// inspect the optimum, then apply the paper's simplification guidelines
+// (D ≈ 10-11, K = 2, α by horizon) and quantify what the shortcuts cost.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "report/table.hpp"
+#include "solar/synth.hpp"
+#include "sweep/sweep.hpp"
+
+int main() {
+  using namespace shep;
+
+  // Your site's data: a year of HSU-like coastal measurements.
+  SynthOptions options;
+  options.days = 180;
+  const PowerTrace trace = SynthesizeTrace(SiteByCode("HSU"), options);
+  const int n = 48;  // 30-minute horizon
+  std::cout << "Tuning WCMA for " << trace.name() << " at N=" << n << "\n\n";
+
+  const SweepContext context(trace, n);
+  RoiFilter protocol;  // paper defaults
+
+  // Step 1: exhaustive sweep (parallel across the D axis).
+  ThreadPool pool;
+  const auto sweep = SweepWcma(context, ParamGrid::Paper(), protocol, &pool);
+  const auto& best = sweep.BestByMape();
+  std::cout << "Exhaustive optimum: alpha=" << FormatFixed(best.alpha, 1)
+            << " D=" << best.days_d << " K=" << best.slots_k << " -> MAPE "
+            << FormatPercent(best.mean_stats.mape) << "\n\n";
+
+  // Step 2: the guideline configuration and what each shortcut costs.
+  TableBuilder table("Guideline shortcuts vs the exhaustive optimum");
+  table.Columns({"Configuration", "alpha", "D", "K", "MAPE", "penalty"});
+  auto add = [&](const std::string& label, double a, int d, int k) {
+    const auto* p = sweep.Find(a, d, k);
+    if (p == nullptr) return;
+    table.AddRow({label, FormatFixed(a, 1), std::to_string(d),
+                  std::to_string(k), FormatPercent(p->mean_stats.mape),
+                  FormatFixed((p->mean_stats.mape - best.mean_stats.mape) *
+                                  100.0,
+                              2) +
+                      " pts"});
+  };
+  add("exhaustive optimum", best.alpha, best.days_d, best.slots_k);
+  add("guideline: K=2", best.alpha, best.days_d, 2);
+  add("guideline: D=10 (half the RAM)", best.alpha, 10, best.slots_k);
+  add("guideline: alpha=0.7 band", 0.7, best.days_d, best.slots_k);
+  add("all guidelines (a=0.7, D=10, K=2)", 0.7, 10, 2);
+  std::cout << table.ToString();
+
+  // Step 3: memory framing — why the D guideline matters on an MCU.
+  const std::size_t words_20 = 20u * static_cast<std::size_t>(n);
+  const std::size_t words_10 = 10u * static_cast<std::size_t>(n);
+  std::cout << "\nHistory matrix RAM at D=20: " << words_20
+            << " words; at D=10: " << words_10
+            << " words (16-bit samples) — the guideline halves the "
+               "predictor's dominant memory cost for a fraction of a MAPE "
+               "point.\n";
+  return 0;
+}

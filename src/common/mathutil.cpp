@@ -1,0 +1,51 @@
+#include "common/mathutil.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace shep {
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double Variance(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double MaxValue(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double MinValue(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+std::vector<double> PrefixSums(std::span<const double> xs) {
+  std::vector<double> out(xs.size());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    acc += xs[i];
+    out[i] = acc;
+  }
+  return out;
+}
+
+bool ApproxEqual(double a, double b, double rel_tol, double abs_tol) {
+  const double diff = std::fabs(a - b);
+  const double scale = std::max(std::fabs(a), std::fabs(b));
+  return diff <= abs_tol + rel_tol * scale;
+}
+
+long long RoundToLL(double x) { return static_cast<long long>(std::llround(x)); }
+
+}  // namespace shep

@@ -1,0 +1,41 @@
+// mathutil.hpp — small numeric helpers shared across modules.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace shep {
+
+/// Arithmetic mean of a span.  Returns 0 for an empty span (callers that need
+/// to distinguish emptiness check size() first).
+double Mean(std::span<const double> xs);
+
+/// Population variance (mean of squared deviations).  0 for size < 2.
+double Variance(std::span<const double> xs);
+
+/// Maximum value; 0 for an empty span.
+double MaxValue(std::span<const double> xs);
+
+/// Minimum value; 0 for an empty span.
+double MinValue(std::span<const double> xs);
+
+/// Inclusive prefix sums: out[i] = xs[0] + ... + xs[i].  Size preserved.
+std::vector<double> PrefixSums(std::span<const double> xs);
+
+/// Linear interpolation between a and b by t in [0,1] (not clamped).
+constexpr double Lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// Clamps x into [lo, hi].
+constexpr double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// True when |a-b| <= abs_tol + rel_tol*max(|a|,|b|).
+bool ApproxEqual(double a, double b, double rel_tol = 1e-9,
+                 double abs_tol = 1e-12);
+
+/// Rounds a double to the nearest integer of type long long.
+long long RoundToLL(double x);
+
+}  // namespace shep

@@ -1,0 +1,93 @@
+// fixed_point.hpp — Q16.16 fixed-point arithmetic for the MCU build.
+//
+// The MSP430F1611 the paper measures on has no FPU; a deployed predictor
+// uses integer arithmetic.  Fx is a signed Q16.16 value (range ±32768 with
+// ~1.5e-5 resolution) with saturating +,-,*,/ — saturation rather than
+// wrap-around is the conventional choice for signal-processing code because
+// an overflowing prediction should clamp, not alias to a negative power.
+// Harvested-power values (a few watts) and brightness ratios (Φ, η — order
+// 0.1..10) sit comfortably inside the format; the property tests in
+// tests/test_fixed_point.cpp verify round-trip accuracy bounds.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace shep {
+
+/// Signed Q16.16 fixed-point number with saturating arithmetic.
+class Fx {
+ public:
+  static constexpr int kFracBits = 16;
+  static constexpr std::int64_t kOne = std::int64_t{1} << kFracBits;
+
+  constexpr Fx() = default;
+
+  /// Converts a double, saturating at the format limits.
+  static constexpr Fx FromDouble(double v) {
+    // Scale then clamp in the wider double domain to avoid UB on overflow.
+    const double scaled = v * static_cast<double>(kOne);
+    if (scaled >= static_cast<double>(std::numeric_limits<std::int32_t>::max()))
+      return FromRaw(std::numeric_limits<std::int32_t>::max());
+    if (scaled <= static_cast<double>(std::numeric_limits<std::int32_t>::min()))
+      return FromRaw(std::numeric_limits<std::int32_t>::min());
+    return FromRaw(static_cast<std::int32_t>(scaled));
+  }
+
+  static constexpr Fx FromInt(int v) {
+    return FromDouble(static_cast<double>(v));
+  }
+
+  static constexpr Fx FromRaw(std::int32_t raw) {
+    Fx f;
+    f.raw_ = raw;
+    return f;
+  }
+
+  constexpr std::int32_t raw() const { return raw_; }
+
+  constexpr double ToDouble() const {
+    return static_cast<double>(raw_) / static_cast<double>(kOne);
+  }
+
+  friend constexpr Fx operator+(Fx a, Fx b) {
+    return FromClamped(std::int64_t{a.raw_} + b.raw_);
+  }
+  friend constexpr Fx operator-(Fx a, Fx b) {
+    return FromClamped(std::int64_t{a.raw_} - b.raw_);
+  }
+  friend constexpr Fx operator*(Fx a, Fx b) {
+    return FromClamped((std::int64_t{a.raw_} * b.raw_) >> kFracBits);
+  }
+  /// Division saturates on divide-by-zero (sign of the numerator).
+  friend constexpr Fx operator/(Fx a, Fx b) {
+    if (b.raw_ == 0) {
+      return FromRaw(a.raw_ >= 0
+                         ? std::numeric_limits<std::int32_t>::max()
+                         : std::numeric_limits<std::int32_t>::min());
+    }
+    return FromClamped((std::int64_t{a.raw_} << kFracBits) / b.raw_);
+  }
+
+  friend constexpr bool operator==(Fx a, Fx b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator<(Fx a, Fx b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Fx a, Fx b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Fx a, Fx b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Fx a, Fx b) { return a.raw_ >= b.raw_; }
+
+  static constexpr Fx Zero() { return FromRaw(0); }
+  static constexpr Fx One() { return FromRaw(static_cast<std::int32_t>(kOne)); }
+
+ private:
+  static constexpr Fx FromClamped(std::int64_t wide) {
+    if (wide > std::numeric_limits<std::int32_t>::max())
+      return FromRaw(std::numeric_limits<std::int32_t>::max());
+    if (wide < std::numeric_limits<std::int32_t>::min())
+      return FromRaw(std::numeric_limits<std::int32_t>::min());
+    return FromRaw(static_cast<std::int32_t>(wide));
+  }
+
+  std::int32_t raw_ = 0;
+};
+
+}  // namespace shep

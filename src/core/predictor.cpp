@@ -1,0 +1,36 @@
+#include "core/predictor.hpp"
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace shep {
+
+std::vector<PredictionPoint> RunPredictor(Predictor& predictor,
+                                          const SlotSeries& series) {
+  SHEP_REQUIRE(series.size() >= 2, "need at least two slots to predict");
+  predictor.Reset();
+  std::vector<PredictionPoint> points;
+  points.reserve(series.size() - 1);
+  for (std::size_t g = 0; g + 1 < series.size(); ++g) {
+    predictor.Observe(series.boundary(g));
+    PredictionPoint p;
+    p.day = series.day_of(g);
+    p.slot = series.slot_of(g);
+    p.predicted = predictor.PredictNext();
+    p.boundary = series.boundary(g + 1);
+    p.mean = series.mean(g);
+    points.push_back(p);
+  }
+  return points;
+}
+
+ErrorStats ScorePredictor(Predictor& predictor, const SlotSeries& series,
+                          ErrorTarget target, const RoiFilter& filter) {
+  const auto points = RunPredictor(predictor, series);
+  const double peak = target == ErrorTarget::kSlotMean
+                          ? series.peak_mean()
+                          : MaxValue(series.boundaries());
+  return EvaluateErrors(points, target, peak, filter);
+}
+
+}  // namespace shep

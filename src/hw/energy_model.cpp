@@ -1,0 +1,114 @@
+#include "hw/energy_model.hpp"
+
+#include "common/check.hpp"
+#include "core/predictor.hpp"
+#include "timeseries/slotting.hpp"
+
+namespace shep {
+
+WakeupOps MeasureWakeupOps(const WcmaParams& params, const PowerTrace& trace,
+                           int slots_per_day) {
+  FixedWcma predictor(params, slots_per_day);
+  const SlotSeries series(trace, slots_per_day);
+
+  // Warm-up length: the history must be full before we start averaging so
+  // the counts reflect steady-state deployment behaviour.
+  const std::size_t warmup_slots =
+      static_cast<std::size_t>(params.days) * series.slots_per_day();
+  SHEP_REQUIRE(series.size() > warmup_slots + series.slots_per_day(),
+               "trace too short to reach predictor steady state");
+
+  auto diff = [](const OpCounts& now, const OpCounts& then) {
+    OpCounts d;
+    d.add = now.add - then.add;
+    d.mul = now.mul - then.mul;
+    d.div = now.div - then.div;
+    d.load = now.load - then.load;
+    d.store = now.store - then.store;
+    d.branch = now.branch - then.branch;
+    return d;
+  };
+  // Weight that makes "most expensive wake-up" mean "most divisions, then
+  // most memory traffic" — divisions dominate MSP430 runtime by an order
+  // of magnitude, so no CycleCosts dependency is needed here.
+  auto weight = [](const OpCounts& o) {
+    return o.div * 1000 + o.mul * 10 + o.load + o.store + o.add + o.branch;
+  };
+
+  WakeupOps result;
+  OpCounts window_start_observe;
+  OpCounts window_start_predict;
+  OpCounts prev_observe;
+  OpCounts prev_predict;
+  std::uint64_t best_weight = 0;
+  for (std::size_t g = 0; g < series.size(); ++g) {
+    if (g == warmup_slots) {
+      window_start_observe = predictor.observe_ops();
+      window_start_predict = predictor.predict_ops();
+    }
+    const OpCounts before_observe = predictor.observe_ops();
+    const OpCounts before_predict = predictor.predict_ops();
+    predictor.Observe(series.boundary(g));
+    (void)predictor.PredictNext();
+    if (g < warmup_slots) continue;
+    ++result.wakeups;
+    OpCounts this_wakeup = diff(predictor.observe_ops(), before_observe);
+    this_wakeup += diff(predictor.predict_ops(), before_predict);
+    // Exclude the day-rollover observe spike from "full work": it is
+    // bookkeeping, not prediction, and it has no divisions anyway.
+    if (series.slot_of(g) + 1 != series.slots_per_day() &&
+        weight(this_wakeup) > best_weight) {
+      best_weight = weight(this_wakeup);
+      result.full_work = this_wakeup;
+    }
+    prev_observe = predictor.observe_ops();
+    prev_predict = predictor.predict_ops();
+  }
+  SHEP_CHECK(result.wakeups > 0, "no steady-state wakeups measured");
+
+  OpCounts total = diff(prev_observe, window_start_observe);
+  total += diff(prev_predict, window_start_predict);
+  result.average.add = total.add / result.wakeups;
+  result.average.mul = total.mul / result.wakeups;
+  result.average.div = total.div / result.wakeups;
+  result.average.load = total.load / result.wakeups;
+  result.average.store = total.store / result.wakeups;
+  result.average.branch = total.branch / result.wakeups;
+  return result;
+}
+
+ActivityEnergy ComputeActivityEnergy(const McuPowerSpec& spec,
+                                     const CycleCosts& costs,
+                                     const OpCounts& per_wakeup) {
+  spec.Validate();
+  costs.Validate();
+  ActivityEnergy e;
+  e.adc_sample_j = spec.AdcSampleEnergyJ();
+  const double cycles = costs.Cycles(per_wakeup) + costs.wakeup_overhead;
+  e.prediction_j = cycles * spec.ActiveCycleEnergyJ();
+  e.sample_and_predict_j = e.adc_sample_j + e.prediction_j;
+  return e;
+}
+
+DayBudget ComputeDayBudget(const McuPowerSpec& spec, const CycleCosts& costs,
+                           const ActivityEnergy& activity, int slots_per_day,
+                           const OpCounts& per_wakeup) {
+  SHEP_REQUIRE(slots_per_day > 0, "slots per day must be positive");
+  DayBudget b;
+  b.slots_per_day = slots_per_day;
+  const double n = static_cast<double>(slots_per_day);
+  b.sampling_j = n * activity.adc_sample_j;
+  b.prediction_j = n * activity.prediction_j;
+
+  const double cycles = costs.Cycles(per_wakeup) + costs.wakeup_overhead;
+  const double awake_per_slot_s =
+      spec.vref_settle_s + spec.adc_conversion_s + cycles / spec.clock_hz;
+  b.active_s = n * awake_per_slot_s;
+  const double sleep_s =
+      static_cast<double>(kSecondsPerDay) - b.active_s;
+  SHEP_CHECK(sleep_s > 0.0, "management activity exceeds the day");
+  b.sleep_j = sleep_s * spec.SleepPowerW();
+  return b;
+}
+
+}  // namespace shep

@@ -1,0 +1,27 @@
+#include "hw/mcu_spec.hpp"
+
+#include "common/check.hpp"
+
+namespace shep {
+
+void McuPowerSpec::Validate() const {
+  SHEP_REQUIRE(supply_v > 0.0, "supply voltage must be positive");
+  SHEP_REQUIRE(clock_hz > 0.0, "clock frequency must be positive");
+  SHEP_REQUIRE(active_current_a > 0.0, "active current must be positive");
+  SHEP_REQUIRE(sleep_current_a >= 0.0, "sleep current must be non-negative");
+  SHEP_REQUIRE(sleep_current_a < active_current_a,
+               "sleep current must be below active current");
+  SHEP_REQUIRE(vref_settle_s >= 0.0, "settle time must be non-negative");
+  SHEP_REQUIRE(vref_current_a >= 0.0, "vref current must be non-negative");
+  SHEP_REQUIRE(adc_conversion_s >= 0.0,
+               "conversion time must be non-negative");
+  SHEP_REQUIRE(adc_current_a >= 0.0, "ADC current must be non-negative");
+}
+
+void CycleCosts::Validate() const {
+  SHEP_REQUIRE(add >= 0 && mul >= 0 && div >= 0 && load >= 0 && store >= 0 &&
+                   branch >= 0 && wakeup_overhead >= 0,
+               "cycle costs must be non-negative");
+}
+
+}  // namespace shep

@@ -1,0 +1,222 @@
+#include "hw/vm.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace shep {
+
+std::string ToString(const Instr& instr) {
+  std::ostringstream os;
+  switch (instr.op) {
+    case Op::kLoadImm:
+      os << "loadi r" << instr.a << ", " << instr.imm;
+      break;
+    case Op::kLoad:
+      os << "load  r" << instr.a << ", [" << instr.b << "]";
+      break;
+    case Op::kLoadIdx:
+      os << "load  r" << instr.a << ", [" << instr.b << "+r" << instr.c << "]";
+      break;
+    case Op::kStore:
+      os << "store [" << instr.b << "], r" << instr.a;
+      break;
+    case Op::kStoreIdx:
+      os << "store [" << instr.b << "+r" << instr.c << "], r" << instr.a;
+      break;
+    case Op::kMov:
+      os << "mov   r" << instr.a << ", r" << instr.b;
+      break;
+    case Op::kAdd:
+      os << "add   r" << instr.a << ", r" << instr.b << ", r" << instr.c;
+      break;
+    case Op::kSub:
+      os << "sub   r" << instr.a << ", r" << instr.b << ", r" << instr.c;
+      break;
+    case Op::kMul:
+      os << "mul   r" << instr.a << ", r" << instr.b << ", r" << instr.c;
+      break;
+    case Op::kDiv:
+      os << "div   r" << instr.a << ", r" << instr.b << ", r" << instr.c;
+      break;
+    case Op::kJmp:
+      os << "jmp   " << instr.a;
+      break;
+    case Op::kJz:
+      os << "jz    " << instr.a << ", r" << instr.b;
+      break;
+    case Op::kJgt:
+      os << "jgt   " << instr.a << ", r" << instr.b << ", r" << instr.c;
+      break;
+    case Op::kJge:
+      os << "jge   " << instr.a << ", r" << instr.b << ", r" << instr.c;
+      break;
+    case Op::kHalt:
+      os << "halt";
+      break;
+  }
+  return os.str();
+}
+
+MicroVm::MicroVm(std::size_t memory_words, const CycleCosts& costs)
+    : memory_(memory_words, 0.0), costs_(costs) {
+  SHEP_REQUIRE(memory_words > 0, "VM memory must be non-empty");
+  costs_.Validate();
+}
+
+void MicroVm::Poke(std::size_t address, double value) {
+  SHEP_REQUIRE(address < memory_.size(), "Poke address out of range");
+  memory_[address] = value;
+}
+
+double MicroVm::Peek(std::size_t address) const {
+  SHEP_REQUIRE(address < memory_.size(), "Peek address out of range");
+  return memory_[address];
+}
+
+VmResult MicroVm::Run(const std::vector<Instr>& program,
+                      std::uint64_t max_steps) {
+  VmResult result;
+  if (program.empty()) {
+    result.trap = "empty program";
+    return result;
+  }
+  double regs[kRegisters] = {};
+
+  auto trap = [&](const std::string& why, std::size_t pc) {
+    std::ostringstream os;
+    os << why << " at pc=" << pc;
+    if (pc < program.size()) os << " (" << ToString(program[pc]) << ")";
+    result.trap = os.str();
+    return result;
+  };
+  auto reg_ok = [](int r) { return r >= 0 && r < kRegisters; };
+
+  std::size_t pc = 0;
+  for (std::uint64_t step = 0; step < max_steps; ++step) {
+    if (pc >= program.size()) return trap("pc out of range", pc);
+    const Instr& in = program[pc];
+    ++result.instructions;
+    switch (in.op) {
+      case Op::kLoadImm:
+        if (!reg_ok(in.a)) return trap("bad register", pc);
+        regs[in.a] = in.imm;
+        result.cycles += costs_.load;
+        result.ops.load += 1;
+        ++pc;
+        break;
+      case Op::kLoad: {
+        if (!reg_ok(in.a)) return trap("bad register", pc);
+        if (in.b < 0 || static_cast<std::size_t>(in.b) >= memory_.size())
+          return trap("load address out of range", pc);
+        regs[in.a] = memory_[static_cast<std::size_t>(in.b)];
+        result.cycles += costs_.load;
+        result.ops.load += 1;
+        ++pc;
+        break;
+      }
+      case Op::kLoadIdx: {
+        if (!reg_ok(in.a) || !reg_ok(in.c)) return trap("bad register", pc);
+        const double idx = regs[in.c];
+        const long long address = in.b + static_cast<long long>(idx);
+        if (address < 0 ||
+            static_cast<std::size_t>(address) >= memory_.size())
+          return trap("indexed load out of range", pc);
+        regs[in.a] = memory_[static_cast<std::size_t>(address)];
+        result.cycles += costs_.load;
+        result.ops.load += 1;
+        ++pc;
+        break;
+      }
+      case Op::kStore: {
+        if (!reg_ok(in.a)) return trap("bad register", pc);
+        if (in.b < 0 || static_cast<std::size_t>(in.b) >= memory_.size())
+          return trap("store address out of range", pc);
+        memory_[static_cast<std::size_t>(in.b)] = regs[in.a];
+        result.cycles += costs_.store;
+        result.ops.store += 1;
+        ++pc;
+        break;
+      }
+      case Op::kStoreIdx: {
+        if (!reg_ok(in.a) || !reg_ok(in.c)) return trap("bad register", pc);
+        const long long address =
+            in.b + static_cast<long long>(regs[in.c]);
+        if (address < 0 ||
+            static_cast<std::size_t>(address) >= memory_.size())
+          return trap("indexed store out of range", pc);
+        memory_[static_cast<std::size_t>(address)] = regs[in.a];
+        result.cycles += costs_.store;
+        result.ops.store += 1;
+        ++pc;
+        break;
+      }
+      case Op::kMov:
+        if (!reg_ok(in.a) || !reg_ok(in.b)) return trap("bad register", pc);
+        regs[in.a] = regs[in.b];
+        result.cycles += costs_.add;  // register move ~ one ALU slot
+        result.ops.add += 1;
+        ++pc;
+        break;
+      case Op::kAdd:
+      case Op::kSub: {
+        if (!reg_ok(in.a) || !reg_ok(in.b) || !reg_ok(in.c))
+          return trap("bad register", pc);
+        regs[in.a] = in.op == Op::kAdd ? regs[in.b] + regs[in.c]
+                                       : regs[in.b] - regs[in.c];
+        result.cycles += costs_.add;
+        result.ops.add += 1;
+        ++pc;
+        break;
+      }
+      case Op::kMul:
+        if (!reg_ok(in.a) || !reg_ok(in.b) || !reg_ok(in.c))
+          return trap("bad register", pc);
+        regs[in.a] = regs[in.b] * regs[in.c];
+        result.cycles += costs_.mul;
+        result.ops.mul += 1;
+        ++pc;
+        break;
+      case Op::kDiv:
+        if (!reg_ok(in.a) || !reg_ok(in.b) || !reg_ok(in.c))
+          return trap("bad register", pc);
+        if (regs[in.c] == 0.0) return trap("division by zero", pc);
+        regs[in.a] = regs[in.b] / regs[in.c];
+        result.cycles += costs_.div;
+        result.ops.div += 1;
+        ++pc;
+        break;
+      case Op::kJmp:
+        if (in.a < 0 || static_cast<std::size_t>(in.a) > program.size())
+          return trap("jump target out of range", pc);
+        result.cycles += costs_.branch;
+        result.ops.branch += 1;
+        pc = static_cast<std::size_t>(in.a);
+        break;
+      case Op::kJz:
+      case Op::kJgt:
+      case Op::kJge: {
+        if (!reg_ok(in.b) || (in.op != Op::kJz && !reg_ok(in.c)))
+          return trap("bad register", pc);
+        if (in.a < 0 || static_cast<std::size_t>(in.a) > program.size())
+          return trap("jump target out of range", pc);
+        bool taken = false;
+        if (in.op == Op::kJz) taken = regs[in.b] == 0.0;
+        if (in.op == Op::kJgt) taken = regs[in.b] > regs[in.c];
+        if (in.op == Op::kJge) taken = regs[in.b] >= regs[in.c];
+        result.cycles += costs_.branch;
+        result.ops.branch += 1;
+        pc = taken ? static_cast<std::size_t>(in.a) : pc + 1;
+        break;
+      }
+      case Op::kHalt:
+        result.ok = true;
+        return result;
+    }
+  }
+  result.trap = "max steps exceeded";
+  return result;
+}
+
+}  // namespace shep

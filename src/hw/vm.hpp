@@ -1,0 +1,93 @@
+// vm.hpp — MicroVm: a cycle-counted register machine in the MSP430's image.
+//
+// The paper measures the predictor's computation cost by running it on the
+// real MSP430F1611.  Our substitute executes the same routine on a small
+// virtual machine whose instruction set mirrors what the MSP430 toolchain
+// would emit for fixed-point C code: register/memory moves, add/sub, a
+// hardware-multiplier multiply, a SLOW software divide, compares and
+// branches.  Each executed instruction is charged its CycleCosts price, so
+// a program's cycle count — and through ActiveCycleEnergyJ() its energy —
+// falls out of actually running the algorithm rather than from a hand
+// estimate.  tests/test_vm.cpp pins the semantics; test_predictor_program
+// cross-checks the VM-computed prediction against the double-precision
+// WCMA formula.
+//
+// Values are doubles for semantic clarity (the cost model, not the bit
+// width, is what we need from the VM); the fixed-point rounding story is
+// covered separately by core/wcma_fixed.hpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/mcu_spec.hpp"
+
+namespace shep {
+
+/// MicroVm opcodes.  Three-address form: fields a, b, c are register
+/// indices or memory addresses depending on the opcode.
+enum class Op : std::uint8_t {
+  kLoadImm,   ///< r[a] = imm
+  kLoad,      ///< r[a] = mem[b]
+  kLoadIdx,   ///< r[a] = mem[b + r[c]]
+  kStore,     ///< mem[b] = r[a]
+  kStoreIdx,  ///< mem[b + r[c]] = r[a]
+  kMov,       ///< r[a] = r[b]
+  kAdd,       ///< r[a] = r[b] + r[c]
+  kSub,       ///< r[a] = r[b] - r[c]
+  kMul,       ///< r[a] = r[b] * r[c]   (hardware multiplier)
+  kDiv,       ///< r[a] = r[b] / r[c]   (software divide; traps on /0)
+  kJmp,       ///< pc = a
+  kJz,        ///< if (r[b] == 0) pc = a
+  kJgt,       ///< if (r[b] >  r[c]) pc = a
+  kJge,       ///< if (r[b] >= r[c]) pc = a
+  kHalt,      ///< stop
+};
+
+/// One instruction.  `imm` is used by kLoadImm only.
+struct Instr {
+  Op op = Op::kHalt;
+  int a = 0;
+  int b = 0;
+  int c = 0;
+  double imm = 0.0;
+};
+
+/// Human-readable rendering for debugging/test failure messages.
+std::string ToString(const Instr& instr);
+
+/// Outcome of a program run.
+struct VmResult {
+  bool ok = false;
+  std::string trap;              ///< non-empty when the VM trapped.
+  double cycles = 0.0;           ///< cycle-cost sum of executed instructions.
+  std::uint64_t instructions = 0;
+  OpCounts ops;                  ///< dynamic op mix (for energy accounting).
+};
+
+/// The virtual machine.  Construct with a memory size, Poke inputs, Run a
+/// program, Peek outputs.
+class MicroVm {
+ public:
+  static constexpr int kRegisters = 16;
+
+  /// \param memory_words  data memory size.
+  /// \param costs         cycle prices per instruction class.
+  explicit MicroVm(std::size_t memory_words, const CycleCosts& costs = {});
+
+  void Poke(std::size_t address, double value);
+  double Peek(std::size_t address) const;
+  std::size_t memory_size() const { return memory_.size(); }
+
+  /// Executes `program` from pc=0 until kHalt, a trap, or `max_steps`.
+  /// Registers are zeroed at entry.  Memory persists across runs.
+  VmResult Run(const std::vector<Instr>& program,
+               std::uint64_t max_steps = 1'000'000);
+
+ private:
+  std::vector<double> memory_;
+  CycleCosts costs_;
+};
+
+}  // namespace shep

@@ -1,0 +1,54 @@
+#include "mgmt/duty_cycle.hpp"
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace shep {
+
+void DutyCycleConfig::Validate() const {
+  SHEP_REQUIRE(slot_seconds > 0.0, "slot length must be positive");
+  SHEP_REQUIRE(active_power_w > 0.0, "active power must be positive");
+  SHEP_REQUIRE(sleep_power_w >= 0.0 && sleep_power_w < active_power_w,
+               "sleep power must be below active power");
+  SHEP_REQUIRE(min_duty >= 0.0 && min_duty <= max_duty && max_duty <= 1.0,
+               "duty bounds must satisfy 0 <= min <= max <= 1");
+  SHEP_REQUIRE(target_level_fraction >= 0.0 && target_level_fraction <= 1.0,
+               "storage setpoint must be a fraction");
+  SHEP_REQUIRE(level_gain >= 0.0 && level_gain <= 1.0,
+               "level gain must be in [0,1]");
+}
+
+DutyCycleController::DutyCycleController(const DutyCycleConfig& config)
+    : config_(config) {
+  config_.Validate();
+}
+
+double DutyCycleController::DutyForSlot(double predicted_harvest_j,
+                                        double level_j,
+                                        double capacity_j) const {
+  SHEP_REQUIRE(predicted_harvest_j >= 0.0,
+               "predicted harvest must be non-negative");
+  SHEP_REQUIRE(capacity_j > 0.0, "capacity must be positive");
+  SHEP_REQUIRE(level_j >= 0.0 && level_j <= capacity_j,
+               "level must be within capacity");
+  // Energy-neutral budget: spend what we expect to harvest, plus a
+  // proportional share of the storage-level error (above setpoint -> spend
+  // more, below -> conserve).
+  const double setpoint_j = config_.target_level_fraction * capacity_j;
+  const double budget_j = predicted_harvest_j +
+                          config_.level_gain * (level_j - setpoint_j);
+  const double sleep_j = config_.sleep_power_w * config_.slot_seconds;
+  const double swing_j =
+      (config_.active_power_w - config_.sleep_power_w) * config_.slot_seconds;
+  const double duty = (budget_j - sleep_j) / swing_j;
+  return Clamp(duty, config_.min_duty, config_.max_duty);
+}
+
+double DutyCycleController::ConsumptionJ(double duty) const {
+  SHEP_REQUIRE(duty >= 0.0 && duty <= 1.0, "duty must be in [0,1]");
+  return (config_.sleep_power_w +
+          duty * (config_.active_power_w - config_.sleep_power_w)) *
+         config_.slot_seconds;
+}
+
+}  // namespace shep

@@ -1,0 +1,50 @@
+// duty_cycle.hpp — prediction-driven adaptive duty-cycle control.
+//
+// The "intelligent controller" of the paper's Fig. 1, in the style of
+// Kansal et al. [2]: each slot, budget the application's active time so
+// that expected consumption tracks the PREDICTED incoming energy, with a
+// proportional correction that steers the store back toward a setpoint.
+// This is the consumer that makes prediction accuracy matter: the node
+// simulator (node_sim.hpp) quantifies how much performance a worse
+// predictor costs.
+#pragma once
+
+namespace shep {
+
+/// Static configuration of the controlled node.
+struct DutyCycleConfig {
+  double slot_seconds = 1800.0;   ///< control period (= prediction horizon).
+  double active_power_w = 0.060;  ///< node power when duty-cycled on.
+  double sleep_power_w = 4.2e-6;  ///< node power when idle (LPM3-class).
+  double min_duty = 0.02;         ///< availability floor demanded by the app.
+  double max_duty = 1.0;
+  double target_level_fraction = 0.5;  ///< storage setpoint.
+  double level_gain = 0.05;  ///< fraction of the level error corrected/slot.
+
+  void Validate() const;
+};
+
+/// Stateless controller: maps (predicted energy, storage state) to a duty
+/// cycle for the upcoming slot.
+class DutyCycleController {
+ public:
+  explicit DutyCycleController(const DutyCycleConfig& config);
+
+  const DutyCycleConfig& config() const { return config_; }
+
+  /// \param predicted_harvest_j  predictor's energy estimate for the slot
+  ///                             (ê × T).
+  /// \param level_j              current storage level.
+  /// \param capacity_j           storage capacity.
+  /// \returns duty cycle in [min_duty, max_duty].
+  double DutyForSlot(double predicted_harvest_j, double level_j,
+                     double capacity_j) const;
+
+  /// Energy the node consumes in one slot at duty `d`.
+  double ConsumptionJ(double duty) const;
+
+ private:
+  DutyCycleConfig config_;
+};
+
+}  // namespace shep

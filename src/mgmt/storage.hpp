@@ -1,0 +1,54 @@
+// storage.hpp — energy storage (battery / supercapacitor) model.
+//
+// The predictor exists to serve harvested-energy management (paper Fig. 1):
+// a controller that matches the application's consumption to the incoming
+// energy through a finite store.  This model captures the non-idealities
+// the paper's introduction lists as constraints: finite capacity (overflow
+// wastes harvest), charge inefficiency, and leakage.
+#pragma once
+
+namespace shep {
+
+/// Parameters of the store.
+struct StorageParams {
+  double capacity_j = 500.0;        ///< usable capacity.
+  double charge_efficiency = 0.85;  ///< fraction of inflow actually stored.
+  double leakage_w = 10.0e-6;       ///< self-discharge power.
+
+  void Validate() const;
+};
+
+/// Stateful energy store with conservation accounting.
+class EnergyStorage {
+ public:
+  EnergyStorage(const StorageParams& params, double initial_level_j);
+
+  const StorageParams& params() const { return params_; }
+  double level_j() const { return level_j_; }
+  double fraction() const { return level_j_ / params_.capacity_j; }
+
+  /// Adds harvested energy through the charger; returns the amount that
+  /// could not be stored (overflow when full).
+  double Charge(double energy_j);
+
+  /// Draws energy; returns the amount actually delivered (may be less than
+  /// requested when the store runs empty).
+  double Discharge(double energy_j);
+
+  /// Applies self-discharge over `seconds`.
+  void Leak(double seconds);
+
+  /// Lifetime accounting (joules).
+  double total_overflow_j() const { return total_overflow_j_; }
+  double total_delivered_j() const { return total_delivered_j_; }
+  double total_charged_j() const { return total_charged_j_; }
+
+ private:
+  StorageParams params_;
+  double level_j_;
+  double total_overflow_j_ = 0.0;
+  double total_delivered_j_ = 0.0;
+  double total_charged_j_ = 0.0;
+};
+
+}  // namespace shep

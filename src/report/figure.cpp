@@ -1,0 +1,134 @@
+#include "report/figure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace shep {
+
+std::string SeriesCsv(const std::vector<Series>& series) {
+  SHEP_REQUIRE(!series.empty(), "need at least one series");
+  const auto& x = series.front().x;
+  for (const auto& s : series) {
+    SHEP_REQUIRE(s.x.size() == s.y.size(), "series x/y sizes must match");
+    SHEP_REQUIRE(s.x == x, "all series must share the same x axis");
+  }
+  std::ostringstream os;
+  os << "x";
+  for (const auto& s : series) os << ',' << s.name;
+  os << '\n';
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    os << x[i];
+    for (const auto& s : series) os << ',' << s.y[i];
+    os << '\n';
+  }
+  return os.str();
+}
+
+namespace {
+
+struct Bounds {
+  double x_min, x_max, y_min, y_max;
+};
+
+Bounds ComputeBounds(const std::vector<Series>& series) {
+  Bounds b{std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity(),
+           std::numeric_limits<double>::infinity(),
+           -std::numeric_limits<double>::infinity()};
+  for (const auto& s : series) {
+    for (double v : s.x) {
+      b.x_min = std::min(b.x_min, v);
+      b.x_max = std::max(b.x_max, v);
+    }
+    for (double v : s.y) {
+      b.y_min = std::min(b.y_min, v);
+      b.y_max = std::max(b.y_max, v);
+    }
+  }
+  if (b.x_min == b.x_max) b.x_max = b.x_min + 1.0;
+  if (b.y_min == b.y_max) b.y_max = b.y_min + 1.0;
+  return b;
+}
+
+constexpr char kGlyphs[] = "*o+x#@%&";
+
+std::string RenderChart(const std::vector<Series>& series, int width,
+                        int height) {
+  SHEP_REQUIRE(width >= 16 && height >= 4, "chart too small");
+  const Bounds b = ComputeBounds(series);
+  std::vector<std::string> canvas(static_cast<std::size_t>(height),
+                                  std::string(static_cast<std::size_t>(width),
+                                              ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % (sizeof(kGlyphs) - 1)];
+    const auto& s = series[si];
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = static_cast<int>(std::lround(
+          (s.x[i] - b.x_min) / (b.x_max - b.x_min) * (width - 1)));
+      const int row = static_cast<int>(std::lround(
+          (s.y[i] - b.y_min) / (b.y_max - b.y_min) * (height - 1)));
+      const int r = height - 1 - row;  // y grows upward
+      canvas[static_cast<std::size_t>(Clamp(r, 0, height - 1))]
+            [static_cast<std::size_t>(Clamp(col, 0, width - 1))] = glyph;
+    }
+  }
+  std::ostringstream os;
+  char ylabel[32];
+  std::snprintf(ylabel, sizeof(ylabel), "%10.4g", b.y_max);
+  os << ylabel << " +" << canvas.front() << '\n';
+  for (int r = 1; r + 1 < height; ++r) {
+    os << std::string(10, ' ') << " |"
+       << canvas[static_cast<std::size_t>(r)] << '\n';
+  }
+  std::snprintf(ylabel, sizeof(ylabel), "%10.4g", b.y_min);
+  os << ylabel << " +" << canvas.back() << '\n';
+  std::snprintf(ylabel, sizeof(ylabel), "%-10.4g", b.x_min);
+  char xmax[32];
+  std::snprintf(xmax, sizeof(xmax), "%10.4g", b.x_max);
+  os << std::string(12, ' ') << ylabel
+     << std::string(static_cast<std::size_t>(
+                        std::max(0, width - 20)),
+                    ' ')
+     << xmax << '\n';
+  // Legend.
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "            " << kGlyphs[si % (sizeof(kGlyphs) - 1)] << " = "
+       << series[si].name << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string AsciiChart(const Series& series, int width, int height) {
+  return RenderChart({series}, width, height);
+}
+
+std::string AsciiChartMulti(const std::vector<Series>& series, int width,
+                            int height) {
+  SHEP_REQUIRE(!series.empty(), "need at least one series");
+  return RenderChart(series, width, height);
+}
+
+std::string Sparkline(const std::vector<double>& values) {
+  static const char* kLevels[] = {"▁", "▂", "▃", "▄",
+                                  "▅", "▆", "▇", "█"};
+  if (values.empty()) return "";
+  const double lo = *std::min_element(values.begin(), values.end());
+  const double hi = *std::max_element(values.begin(), values.end());
+  std::string out;
+  for (double v : values) {
+    const double t = hi > lo ? (v - lo) / (hi - lo) : 0.0;
+    const int level =
+        static_cast<int>(Clamp(std::floor(t * 8.0), 0.0, 7.0));
+    out += kLevels[level];
+  }
+  return out;
+}
+
+}  // namespace shep

@@ -1,0 +1,75 @@
+#include "report/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace shep {
+
+TableBuilder::TableBuilder(std::string title) : title_(std::move(title)) {}
+
+TableBuilder& TableBuilder::Columns(std::vector<std::string> names) {
+  SHEP_REQUIRE(!names.empty(), "table needs at least one column");
+  SHEP_REQUIRE(rows_.empty(), "set columns before adding rows");
+  columns_ = std::move(names);
+  return *this;
+}
+
+TableBuilder& TableBuilder::AddRow(std::vector<std::string> cells) {
+  SHEP_REQUIRE(!columns_.empty(), "set columns before adding rows");
+  SHEP_REQUIRE(cells.size() == columns_.size(),
+               "row width must match column count");
+  rows_.push_back(Row{std::move(cells), false});
+  return *this;
+}
+
+TableBuilder& TableBuilder::AddSeparator() {
+  rows_.push_back(Row{{}, true});
+  return *this;
+}
+
+std::string TableBuilder::ToString() const {
+  SHEP_REQUIRE(!columns_.empty(), "table has no columns");
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  auto hline = [&] {
+    os << '+';
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  hline();
+  print_row(columns_);
+  hline();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      hline();
+    } else {
+      print_row(row.cells);
+    }
+  }
+  hline();
+  return os.str();
+}
+
+}  // namespace shep

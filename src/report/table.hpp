@@ -1,0 +1,41 @@
+// table.hpp — aligned ASCII tables for the reproduction harnesses.
+//
+// Every bench/repro_* binary prints its paper table through this builder so
+// output is uniform, diffable, and easy to eyeball against the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shep {
+
+/// Column-aligned text table with an optional title.
+class TableBuilder {
+ public:
+  explicit TableBuilder(std::string title = "");
+
+  /// Sets the header row; must be called before AddRow.
+  TableBuilder& Columns(std::vector<std::string> names);
+
+  /// Appends a data row; must have exactly as many cells as columns.
+  TableBuilder& AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator line.
+  TableBuilder& AddSeparator();
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders the table.
+  std::string ToString() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace shep

@@ -1,0 +1,60 @@
+#include "solar/clearsky.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "timeseries/trace.hpp"
+
+namespace shep {
+
+double SolarDeclinationRad(int day_of_year) {
+  SHEP_REQUIRE(day_of_year >= 1 && day_of_year <= 366,
+               "day of year must be in [1, 366]");
+  constexpr double kTwoPi = 6.283185307179586;
+  return DegToRad(23.45) *
+         std::sin(kTwoPi * (284.0 + day_of_year) / 365.0);
+}
+
+double HourAngleRad(double solar_hour) {
+  return DegToRad(15.0) * (solar_hour - 12.0);
+}
+
+double SinElevation(double latitude_rad, double declination_rad,
+                    double hour_angle_rad) {
+  return std::sin(latitude_rad) * std::sin(declination_rad) +
+         std::cos(latitude_rad) * std::cos(declination_rad) *
+             std::cos(hour_angle_rad);
+}
+
+double HaurwitzGhi(double sin_elevation) {
+  if (sin_elevation <= 0.0) return 0.0;
+  return 1098.0 * sin_elevation * std::exp(-0.057 / sin_elevation);
+}
+
+std::vector<double> ClearSkyDayGhi(double latitude_deg, int day_of_year,
+                                   int resolution_s) {
+  SHEP_REQUIRE(resolution_s > 0 && kSecondsPerDay % resolution_s == 0,
+               "resolution must divide one day");
+  const double lat = DegToRad(latitude_deg);
+  const double decl = SolarDeclinationRad(day_of_year);
+  const auto n = static_cast<std::size_t>(kSecondsPerDay / resolution_s);
+  std::vector<double> ghi(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double hour =
+        (static_cast<double>(i) + 0.5) * resolution_s / 3600.0;
+    ghi[i] = HaurwitzGhi(SinElevation(lat, decl, HourAngleRad(hour)));
+  }
+  return ghi;
+}
+
+double DaylightHours(double latitude_deg, int day_of_year) {
+  const double lat = DegToRad(latitude_deg);
+  const double decl = SolarDeclinationRad(day_of_year);
+  const double cos_h0 = -std::tan(lat) * std::tan(decl);
+  if (cos_h0 <= -1.0) return 24.0;  // polar day
+  if (cos_h0 >= 1.0) return 0.0;    // polar night
+  const double h0 = std::acos(cos_h0);
+  return 2.0 * RadToDeg(h0) / 15.0;
+}
+
+}  // namespace shep

@@ -1,0 +1,50 @@
+// clearsky.hpp — solar geometry and clear-sky irradiance.
+//
+// The synthetic data substrate needs the deterministic backbone of a solar
+// power profile: the diurnal bell shape whose width and height drift with
+// the season.  We use the standard Cooper declination formula and the
+// Haurwitz clear-sky global-horizontal-irradiance model, which depends only
+// on solar elevation and reproduces the familiar ~1000 W/m^2 midsummer noon
+// peak.  This is exactly the structure the prediction algorithm exploits
+// (24-hour cycles, day-to-day similarity of the same slot).
+#pragma once
+
+#include <vector>
+
+namespace shep {
+
+/// Degrees-to-radians.
+constexpr double DegToRad(double deg) { return deg * 0.017453292519943295; }
+
+/// Radians-to-degrees.
+constexpr double RadToDeg(double rad) { return rad * 57.29577951308232; }
+
+/// Solar declination (radians) for a 1-based day of year (Cooper, 1969):
+/// delta = 23.45 deg * sin(2*pi*(284+n)/365).
+double SolarDeclinationRad(int day_of_year);
+
+/// Hour angle (radians) for local solar time in hours: 15 deg per hour from
+/// solar noon, negative in the morning.
+double HourAngleRad(double solar_hour);
+
+/// Sine of solar elevation for a latitude/declination/hour-angle triple:
+/// sin(el) = sin(lat)sin(decl) + cos(lat)cos(decl)cos(h).
+double SinElevation(double latitude_rad, double declination_rad,
+                    double hour_angle_rad);
+
+/// Haurwitz clear-sky global horizontal irradiance (W/m^2) from the sine of
+/// solar elevation; zero when the sun is below the horizon.
+double HaurwitzGhi(double sin_elevation);
+
+/// Clear-sky irradiance profile of one day: one GHI sample per
+/// `resolution_s` seconds (86400/resolution_s samples), for the given
+/// latitude and 1-based day of year.
+std::vector<double> ClearSkyDayGhi(double latitude_deg, int day_of_year,
+                                   int resolution_s);
+
+/// Daylight duration in hours for the given latitude/day (sunrise-to-sunset
+/// from the hour-angle at zero elevation); used by tests to check seasonal
+/// behaviour.
+double DaylightHours(double latitude_deg, int day_of_year);
+
+}  // namespace shep

@@ -1,0 +1,131 @@
+#include "solar/sites.hpp"
+
+#include "common/check.hpp"
+
+namespace shep {
+
+namespace {
+
+// A small PV harvester typical of the WSN nodes targeted by the paper:
+// 100 cm^2 panel at 15 % end-to-end efficiency -> 1.5 W peak.
+constexpr double kPanelAreaM2 = 0.01;
+constexpr double kPanelEfficiency = 0.15;
+
+WeatherParams DesertClimate(double cloud_rate_clear,
+                            double cloud_rate_partly) {
+  // PFCI/NPCS style: long runs of mostly-clear days with occasional light
+  // cumulus, rare cloudy spells.
+  WeatherParams w;
+  w.transition = {{{0.90, 0.08, 0.02},
+                   {0.60, 0.30, 0.10},
+                   {0.50, 0.35, 0.15}}};
+  w.base_transmittance = {0.96, 0.78, 0.45};
+  w.drift_sigma = {0.02, 0.06, 0.07};
+  w.drift_phi = 0.98;
+  w.cloud_rate_per_hour = {cloud_rate_clear, cloud_rate_partly, 0.8};
+  w.cloud_depth_min = 0.15;
+  w.cloud_depth_max = 0.55;
+  w.fast_sigma = 0.020;
+  return w;
+}
+
+WeatherParams TemperateClimate(double partly_persistence,
+                               double cloud_rate_partly,
+                               double depth_max) {
+  // ECSU/HSU style: balanced mix of regimes, moderate intra-day volatility.
+  WeatherParams w;
+  const double stay = partly_persistence;
+  w.transition = {{{0.70, 0.22, 0.08},
+                   {0.30, stay, 1.0 - 0.30 - stay},
+                   {0.25, 0.40, 0.35}}};
+  w.base_transmittance = {0.93, 0.68, 0.35};
+  w.drift_sigma = {0.03, 0.08, 0.08};
+  w.drift_phi = 0.98;
+  w.cloud_rate_per_hour = {0.3, cloud_rate_partly, 1.2};
+  w.cloud_depth_min = 0.25;
+  w.cloud_depth_max = depth_max;
+  w.fast_sigma = 0.025;
+  return w;
+}
+
+WeatherParams ConvectiveClimate(double cloud_rate_partly, double depth_max) {
+  // SPMD/ORNL style: weather flips often, partly-cloudy days are violent
+  // (fast deep cumulus dips) — hardest for a slot-persistence predictor.
+  WeatherParams w;
+  w.transition = {{{0.55, 0.33, 0.12},
+                   {0.28, 0.48, 0.24},
+                   {0.22, 0.42, 0.36}}};
+  w.base_transmittance = {0.92, 0.62, 0.30};
+  w.drift_sigma = {0.035, 0.10, 0.10};
+  w.drift_phi = 0.98;
+  w.cloud_rate_per_hour = {0.4, cloud_rate_partly, 1.3};
+  w.cloud_depth_min = 0.30;
+  w.cloud_depth_max = depth_max;
+  w.cloud_duration_min_s = 120.0;
+  w.cloud_duration_max_s = 2400.0;
+  w.fast_sigma = 0.030;
+  return w;
+}
+
+std::vector<SiteProfile> MakeSites() {
+  std::vector<SiteProfile> sites;
+
+  // SPMD — Solar Power Measurement Database, Colorado: high-plains
+  // convective afternoon clouds; 5-minute logger.
+  sites.push_back(SiteProfile{
+      "SPMD", "CO", 39.74, 300, kPanelAreaM2, kPanelEfficiency, 0x5134D001,
+      ConvectiveClimate(/*cloud_rate_partly=*/1.9, /*depth_max=*/0.70)});
+
+  // ECSU — Elizabeth City State University, North Carolina: humid coastal
+  // mix; 5-minute logger.
+  sites.push_back(SiteProfile{
+      "ECSU", "NC", 36.28, 300, kPanelAreaM2, kPanelEfficiency, 0xEC50002,
+      TemperateClimate(/*partly_persistence=*/0.45, /*cloud_rate_partly=*/1.8,
+                       /*depth_max=*/0.68)});
+
+  // ORNL — Oak Ridge National Laboratory, Tennessee: valley convection and
+  // frontal systems; the paper's hardest trace; 1-minute logger.
+  sites.push_back(SiteProfile{
+      "ORNL", "TN", 35.93, 60, kPanelAreaM2, kPanelEfficiency, 0x0211003,
+      ConvectiveClimate(/*cloud_rate_partly=*/1.6, /*depth_max=*/0.72)});
+
+  // HSU — Humboldt State University, California: marine-layer coastal fog;
+  // 1-minute logger.
+  sites.push_back(SiteProfile{
+      "HSU", "CA", 40.88, 60, kPanelAreaM2, kPanelEfficiency, 0x450004,
+      TemperateClimate(/*partly_persistence=*/0.50, /*cloud_rate_partly=*/1.3,
+                       /*depth_max=*/0.62)});
+
+  // NPCS — Nevada Power Clark Station, Nevada: Mojave desert, mostly clear;
+  // 1-minute logger.
+  sites.push_back(SiteProfile{
+      "NPCS", "NV", 36.10, 60, kPanelAreaM2, kPanelEfficiency, 0x09C50005,
+      DesertClimate(/*cloud_rate_clear=*/0.35, /*cloud_rate_partly=*/2.8)});
+
+  // PFCI — Phoenix, Arizona: Sonoran desert, the paper's most predictable
+  // site; 1-minute logger.
+  sites.push_back(SiteProfile{
+      "PFCI", "AZ", 33.45, 60, kPanelAreaM2, kPanelEfficiency, 0x0F0C1006,
+      DesertClimate(/*cloud_rate_clear=*/0.18, /*cloud_rate_partly=*/1.8)});
+
+  for (auto& s : sites) s.weather.Validate();
+  return sites;
+}
+
+}  // namespace
+
+const std::vector<SiteProfile>& PaperSites() {
+  static const std::vector<SiteProfile> sites = MakeSites();
+  return sites;
+}
+
+const SiteProfile& SiteByCode(const std::string& code) {
+  for (const auto& s : PaperSites()) {
+    if (s.code == code) return s;
+  }
+  SHEP_REQUIRE(false, "unknown site code: " + code);
+  // Unreachable; SHEP_REQUIRE(false, ...) throws.
+  throw std::logic_error("unreachable");
+}
+
+}  // namespace shep

@@ -1,0 +1,60 @@
+#include "solar/synth.hpp"
+
+#include "common/check.hpp"
+#include "solar/clearsky.hpp"
+#include "timeseries/resample.hpp"
+
+namespace shep {
+
+PowerTrace SynthesizeTrace(const SiteProfile& site,
+                           const SynthOptions& options) {
+  SHEP_REQUIRE(options.days > 0, "trace must contain at least one day");
+  SHEP_REQUIRE(options.start_day_of_year >= 1 &&
+                   options.start_day_of_year <= 365,
+               "start day of year must be in [1, 365]");
+  SHEP_REQUIRE(site.resolution_s % 60 == 0,
+               "site resolution must be a multiple of one minute");
+
+  constexpr int kGenResolutionS = 60;
+  const WeatherModel model(site.weather);
+  Rng rng = Rng(site.seed).Fork(options.seed_offset);
+
+  // Warm the Markov chain so the first simulated day is drawn from (close
+  // to) the stationary regime rather than always starting "clear".
+  WeatherState state = WeatherState::kClear;
+  for (int i = 0; i < 16; ++i) state = model.NextState(state, rng);
+
+  const double scale = site.panel_area_m2 * site.panel_efficiency;
+  std::vector<double> samples;
+  samples.reserve(options.days *
+                  static_cast<std::size_t>(kSecondsPerDay / kGenResolutionS));
+
+  double drift = 0.0;  // AR(1) state carried across days
+  for (std::size_t d = 0; d < options.days; ++d) {
+    const int doy =
+        1 + static_cast<int>((options.start_day_of_year - 1 + d) % 365);
+    const auto ghi =
+        ClearSkyDayGhi(site.latitude_deg, doy, kGenResolutionS);
+    const auto tau = model.DayTransmittance(state, kGenResolutionS, drift, rng);
+    for (std::size_t i = 0; i < ghi.size(); ++i) {
+      samples.push_back(ghi[i] * tau[i] * scale);
+    }
+    state = model.NextState(state, rng);
+  }
+
+  PowerTrace minute_trace(site.code, std::move(samples), kGenResolutionS);
+  const int factor = site.resolution_s / kGenResolutionS;
+  if (factor == 1) return minute_trace;
+  return DownsampleMean(minute_trace, factor);
+}
+
+std::vector<PowerTrace> SynthesizePaperTraces(const SynthOptions& options) {
+  std::vector<PowerTrace> traces;
+  traces.reserve(PaperSites().size());
+  for (const auto& site : PaperSites()) {
+    traces.push_back(SynthesizeTrace(site, options));
+  }
+  return traces;
+}
+
+}  // namespace shep

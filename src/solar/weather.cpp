@@ -1,0 +1,180 @@
+#include "solar/weather.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+#include "timeseries/trace.hpp"
+
+namespace shep {
+
+const char* WeatherStateName(WeatherState s) {
+  switch (s) {
+    case WeatherState::kClear:
+      return "clear";
+    case WeatherState::kPartly:
+      return "partly";
+    case WeatherState::kOvercast:
+      return "overcast";
+  }
+  return "?";
+}
+
+void WeatherParams::Validate() const {
+  for (const auto& row : transition) {
+    double sum = 0.0;
+    for (double p : row) {
+      SHEP_REQUIRE(p >= 0.0 && p <= 1.0,
+                   "transition probabilities must be in [0,1]");
+      sum += p;
+    }
+    SHEP_REQUIRE(std::fabs(sum - 1.0) < 1e-9,
+                 "transition matrix rows must sum to 1");
+  }
+  for (double b : base_transmittance) {
+    SHEP_REQUIRE(b > 0.0 && b <= 1.0, "base transmittance must be in (0,1]");
+  }
+  for (double s : drift_sigma) {
+    SHEP_REQUIRE(s >= 0.0, "drift sigma must be non-negative");
+  }
+  SHEP_REQUIRE(drift_phi >= 0.0 && drift_phi < 1.0,
+               "AR(1) pole must be in [0,1)");
+  for (double r : cloud_rate_per_hour) {
+    SHEP_REQUIRE(r >= 0.0, "cloud rate must be non-negative");
+  }
+  SHEP_REQUIRE(cloud_depth_min >= 0.0 && cloud_depth_max <= 1.0 &&
+                   cloud_depth_min <= cloud_depth_max,
+               "cloud depth range must be within [0,1] and ordered");
+  SHEP_REQUIRE(cloud_duration_min_s > 0.0 &&
+                   cloud_duration_min_s <= cloud_duration_max_s,
+               "cloud duration range must be positive and ordered");
+  SHEP_REQUIRE(min_transmittance >= 0.0 && min_transmittance < 1.0,
+               "minimum transmittance must be in [0,1)");
+  SHEP_REQUIRE(smooth_samples >= 1, "smoothing window must be >= 1 sample");
+  SHEP_REQUIRE(fast_sigma >= 0.0 && fast_sigma < 0.5,
+               "fast noise sigma must be in [0, 0.5)");
+}
+
+WeatherModel::WeatherModel(const WeatherParams& params) : params_(params) {
+  params_.Validate();
+}
+
+WeatherState WeatherModel::NextState(WeatherState previous, Rng& rng) const {
+  const auto& row = params_.transition[static_cast<std::size_t>(previous)];
+  const double u = rng.NextDouble();
+  double acc = 0.0;
+  for (int s = 0; s < kWeatherStateCount; ++s) {
+    acc += row[static_cast<std::size_t>(s)];
+    if (u < acc) return static_cast<WeatherState>(s);
+  }
+  return WeatherState::kOvercast;  // numeric slack: u landed past acc
+}
+
+std::array<double, 3> WeatherModel::StationaryDistribution() const {
+  std::array<double, 3> pi{1.0 / 3, 1.0 / 3, 1.0 / 3};
+  for (int iter = 0; iter < 512; ++iter) {
+    std::array<double, 3> next{0.0, 0.0, 0.0};
+    for (int from = 0; from < 3; ++from) {
+      for (int to = 0; to < 3; ++to) {
+        next[static_cast<std::size_t>(to)] +=
+            pi[static_cast<std::size_t>(from)] *
+            params_.transition[static_cast<std::size_t>(from)]
+                              [static_cast<std::size_t>(to)];
+      }
+    }
+    pi = next;
+  }
+  return pi;
+}
+
+std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
+                                                   int resolution_s,
+                                                   double& drift,
+                                                   Rng& rng) const {
+  SHEP_REQUIRE(resolution_s > 0 && kSecondsPerDay % resolution_s == 0,
+               "resolution must divide one day");
+  const auto n = static_cast<std::size_t>(kSecondsPerDay / resolution_s);
+  const auto si = static_cast<std::size_t>(state);
+  const double base = params_.base_transmittance[si];
+  const double sigma = params_.drift_sigma[si];
+
+  // Innovation variance chosen so the AR(1) process has stationary
+  // std-dev `sigma` regardless of the pole.
+  const double innovation =
+      sigma * std::sqrt(std::max(0.0, 1.0 - params_.drift_phi *
+                                                params_.drift_phi));
+
+  // Draw the day's cloud events up front (Poisson arrivals over 24 h; the
+  // night-time ones simply multiply zero irradiance and are harmless).
+  struct CloudEvent {
+    double start_s, end_s, depth;
+  };
+  std::vector<CloudEvent> events;
+  const double rate_per_s = params_.cloud_rate_per_hour[si] / 3600.0;
+  if (rate_per_s > 0.0) {
+    double t = 0.0;
+    for (;;) {
+      // Exponential inter-arrival.
+      const double u = std::max(rng.NextDouble(), 1e-300);
+      t += -std::log(u) / rate_per_s;
+      if (t >= kSecondsPerDay) break;
+      CloudEvent ev;
+      ev.start_s = t;
+      ev.end_s = t + rng.Uniform(params_.cloud_duration_min_s,
+                                 params_.cloud_duration_max_s);
+      ev.depth = rng.Uniform(params_.cloud_depth_min, params_.cloud_depth_max);
+      events.push_back(ev);
+    }
+  }
+
+  std::vector<double> tau(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    drift = params_.drift_phi * drift + rng.Gaussian(0.0, innovation);
+    const double t0 = static_cast<double>(i) * resolution_s;
+    const double t1 = t0 + resolution_s;
+    // Attenuation from overlapping cloud events, weighted by the fraction
+    // of the sample interval each event covers (so short events still
+    // register correctly on 5-minute grids).
+    double attenuation = 1.0;
+    for (const auto& ev : events) {
+      const double overlap =
+          std::max(0.0, std::min(t1, ev.end_s) - std::max(t0, ev.start_s));
+      if (overlap > 0.0) {
+        attenuation *= 1.0 - ev.depth * (overlap / resolution_s);
+      }
+    }
+    tau[i] = Clamp((base + drift) * attenuation, params_.min_transmittance,
+                   1.0);
+  }
+
+  // Box-smooth to give cloud passages the gradual edges real loggers see
+  // (window clamped at the day boundaries; midnight is dark anyway).
+  const int w = params_.smooth_samples;
+  if (w > 1) {
+    std::vector<double> smoothed(n);
+    const int half = w / 2;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t lo =
+          i >= static_cast<std::size_t>(half) ? i - static_cast<std::size_t>(half) : 0;
+      const std::size_t hi = std::min(n - 1, i + static_cast<std::size_t>(w - half - 1));
+      double acc = 0.0;
+      for (std::size_t j = lo; j <= hi; ++j) acc += tau[j];
+      smoothed[i] = acc / static_cast<double>(hi - lo + 1);
+    }
+    tau = std::move(smoothed);
+  }
+
+  // Fast multiplicative noise (scintillation / sensor noise) survives the
+  // smoothing by construction, then everything is re-clamped into the
+  // physical range.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (params_.fast_sigma > 0.0) {
+      tau[i] *= 1.0 + rng.Gaussian(0.0, params_.fast_sigma);
+    }
+    tau[i] = Clamp(tau[i], params_.min_transmittance, 1.0);
+  }
+  return tau;
+}
+
+}  // namespace shep

@@ -1,0 +1,111 @@
+// weather.hpp — stochastic cloud/weather process for synthetic irradiance.
+//
+// A solar power profile is the clear-sky backbone multiplied by an
+// atmospheric transmittance in (0, 1].  We model transmittance with three
+// coupled processes, which together reproduce the phenomenology visible in
+// the paper's Fig. 2 (smooth sunny days, depressed overcast days, and
+// fast deep dips from passing clouds on mixed days):
+//
+//  1. a per-day weather STATE (Clear / Partly / Overcast) drawn from a
+//     first-order Markov chain — captures multi-day persistence of weather
+//     systems (sunny spells, rainy spells);
+//  2. a slow AR(1) fluctuation around the state's base transmittance —
+//     captures haze/thin-cirrus drift within a day;
+//  3. a Poisson process of discrete CLOUD EVENTS, each an attenuation pulse
+//     with random depth and duration — captures cumulus passages, the main
+//     source of short-horizon prediction error.
+//
+// Per-site parameters tune how often each state occurs and how violent the
+// intra-day processes are; src/solar/sites.hpp instantiates six parameter
+// sets whose *relative* difficulty matches the six NREL sites of the paper.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace shep {
+
+/// Day-granularity weather regimes.
+enum class WeatherState : int { kClear = 0, kPartly = 1, kOvercast = 2 };
+
+inline constexpr int kWeatherStateCount = 3;
+
+/// Returns a short display name ("clear", "partly", "overcast").
+const char* WeatherStateName(WeatherState s);
+
+/// Parameters of the weather process (see file comment for the roles).
+struct WeatherParams {
+  /// Markov transition matrix: transition[from][to], rows must sum to 1.
+  std::array<std::array<double, 3>, 3> transition{
+      {{0.70, 0.20, 0.10}, {0.30, 0.40, 0.30}, {0.25, 0.35, 0.40}}};
+
+  /// Mean transmittance of each state (clear, partly, overcast).
+  std::array<double, 3> base_transmittance{0.95, 0.70, 0.35};
+
+  /// Std-dev of the slow AR(1) fluctuation per state.
+  std::array<double, 3> drift_sigma{0.02, 0.08, 0.10};
+
+  /// AR(1) pole of the slow fluctuation (0 = white, ->1 = very smooth).
+  double drift_phi = 0.995;
+
+  /// Expected cloud events per daylight hour, per state.
+  std::array<double, 3> cloud_rate_per_hour{0.1, 4.0, 1.5};
+
+  /// Cloud event attenuation depth range (fraction removed, uniform draw).
+  double cloud_depth_min = 0.25;
+  double cloud_depth_max = 0.85;
+
+  /// Cloud event duration range in seconds (uniform draw).
+  double cloud_duration_min_s = 120.0;
+  double cloud_duration_max_s = 1800.0;
+
+  /// Lower clamp so power never quite reaches zero while the sun is up
+  /// (diffuse component survives even heavy overcast).
+  double min_transmittance = 0.05;
+
+  /// Box-smoothing window (in samples at the generation resolution)
+  /// applied to the transmittance series.  Models the gradual edges of
+  /// real cloud passages plus the logger's averaging; 1 disables.  Real
+  /// MIDC 1-minute data is itself a 1-minute average of ~1 s scans, so
+  /// some smoothing is physically required for realistic point-vs-mean
+  /// error behaviour.
+  int smooth_samples = 7;
+
+  /// Multiplicative per-sample noise (std-dev, Gaussian, applied after
+  /// smoothing).  Models scintillation/sensor noise that does NOT average
+  /// out at the sample scale; it is what keeps very short prediction
+  /// horizons (N = 288) from being trivially exact on synthetic data.
+  double fast_sigma = 0.03;
+
+  /// Validates ranges and row sums; throws std::invalid_argument otherwise.
+  void Validate() const;
+};
+
+/// Simulates the per-day state sequence and per-sample transmittance.
+class WeatherModel {
+ public:
+  explicit WeatherModel(const WeatherParams& params);
+
+  const WeatherParams& params() const { return params_; }
+
+  /// Draws the next day's state given the previous day's state.
+  WeatherState NextState(WeatherState previous, Rng& rng) const;
+
+  /// Stationary distribution of the state chain (power iteration); used by
+  /// reports/tests to characterise a site's climate.
+  std::array<double, 3> StationaryDistribution() const;
+
+  /// Generates one day of transmittance values, one per `resolution_s`
+  /// seconds.  The AR(1) drift state is carried in/out through `drift` so
+  /// consecutive days join smoothly.
+  std::vector<double> DayTransmittance(WeatherState state, int resolution_s,
+                                       double& drift, Rng& rng) const;
+
+ private:
+  WeatherParams params_;
+};
+
+}  // namespace shep

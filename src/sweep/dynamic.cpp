@@ -1,0 +1,104 @@
+#include "sweep/dynamic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace shep {
+
+DynamicOutcome EvaluateDynamic(const SweepContext& context, int days_d,
+                               const ParamGrid& grid,
+                               const RoiFilter& filter) {
+  grid.Validate();
+  SHEP_REQUIRE(days_d >= 1, "D must be >= 1");
+
+  const std::size_t n_a = grid.alphas.size();
+  const std::size_t n_k = grid.ks.size();
+  const std::size_t n = static_cast<std::size_t>(context.slots_per_day());
+
+  // Q series per K (all at the same D).
+  const auto d_series = context.BuildD(days_d);
+  std::vector<std::vector<double>> q_by_k;
+  q_by_k.reserve(n_k);
+  for (int k : grid.ks) q_by_k.push_back(context.BuildQ(d_series, k));
+
+  // Accumulators for every oracle and every candidate fixed parameter.
+  double sum_both = 0.0;
+  std::vector<double> sum_k_only(n_a, 0.0);      // min over K at α fixed
+  std::vector<double> sum_alpha_only(n_k, 0.0);  // min over α at K fixed
+  std::vector<double> sum_static(n_a * n_k, 0.0);
+  std::size_t count = 0;
+
+  const double peak = context.peak_mean();
+  const auto& series = context.series();
+  // Per-point scratch: for each fixed α, the smallest error over K.
+  std::vector<double> k_only_scratch(n_a);
+  for (std::size_t g = 0; g < context.points(); ++g) {
+    const std::size_t day = g / n;
+    const double ref = series.mean(g);
+    if (!filter.Includes(day, ref, peak) || ref <= 0.0) continue;
+    const double p_term = series.boundary(g);
+
+    std::fill(k_only_scratch.begin(), k_only_scratch.end(),
+              std::numeric_limits<double>::infinity());
+    double best_both = std::numeric_limits<double>::infinity();
+    for (std::size_t i_k = 0; i_k < n_k; ++i_k) {
+      const double q = q_by_k[i_k][g];
+      double best_alpha_here = std::numeric_limits<double>::infinity();
+      for (std::size_t i_a = 0; i_a < n_a; ++i_a) {
+        const double a = grid.alphas[i_a];
+        const double ape =
+            std::fabs(ref - (a * p_term + (1.0 - a) * q)) / ref;
+        sum_static[i_a * n_k + i_k] += ape;
+        if (ape < best_alpha_here) best_alpha_here = ape;
+        if (ape < k_only_scratch[i_a]) k_only_scratch[i_a] = ape;
+      }
+      sum_alpha_only[i_k] += best_alpha_here;
+      if (best_alpha_here < best_both) best_both = best_alpha_here;
+    }
+    for (std::size_t i_a = 0; i_a < n_a; ++i_a) {
+      sum_k_only[i_a] += k_only_scratch[i_a];
+    }
+    sum_both += best_both;
+    ++count;
+  }
+
+  DynamicOutcome out;
+  out.days_d = days_d;
+  out.count = count;
+  if (count == 0) return out;
+  const double c = static_cast<double>(count);
+
+  out.both_mape = sum_both / c;
+
+  // Best fixed α for the K-oracle.
+  std::size_t best_a = 0;
+  for (std::size_t i_a = 1; i_a < n_a; ++i_a) {
+    if (sum_k_only[i_a] < sum_k_only[best_a]) best_a = i_a;
+  }
+  out.k_only_mape = sum_k_only[best_a] / c;
+  out.k_only_alpha = grid.alphas[best_a];
+
+  // Best fixed K for the α-oracle.
+  std::size_t best_k = 0;
+  for (std::size_t i_k = 1; i_k < n_k; ++i_k) {
+    if (sum_alpha_only[i_k] < sum_alpha_only[best_k]) best_k = i_k;
+  }
+  out.alpha_only_mape = sum_alpha_only[best_k] / c;
+  out.alpha_only_k = grid.ks[best_k];
+
+  // Best fully static (α, K) at this D for reference.
+  std::size_t best_static = 0;
+  for (std::size_t i = 1; i < sum_static.size(); ++i) {
+    if (sum_static[i] < sum_static[best_static]) best_static = i;
+  }
+  out.static_mape = sum_static[best_static] / c;
+  out.static_alpha = grid.alphas[best_static / n_k];
+  out.static_k = grid.ks[best_static % n_k];
+  return out;
+}
+
+}  // namespace shep

@@ -1,0 +1,49 @@
+// dynamic.hpp — clairvoyant dynamic-parameter study (paper Sec. IV-C).
+//
+// The paper's final experiment asks: how much accuracy is left on the table
+// by fixing α and K for a whole deployment?  It bounds the answer with a
+// CLAIRVOYANT (oracle) selector: at every prediction, evaluate Eq. 1 for
+// all values of α and/or K on the grid and keep the one with the smallest
+// error for that point, then average those per-point minima into a MAPE.
+// Three oracles are reported (Table V):
+//   * "K+α"    — both parameters chosen per prediction;
+//   * "K only" — K per prediction at the best fixed α (reported with it);
+//   * "α only" — α per prediction at the best fixed K (reported with it).
+// These are lower bounds on achievable error — a realisable dynamic
+// algorithm can approach but not beat them — and the paper's motivation for
+// future dynamic selectors ("<10 % average error without higher sampling
+// rates").
+#pragma once
+
+#include "metrics/error.hpp"
+#include "sweep/evaluator.hpp"
+#include "sweep/grid.hpp"
+
+namespace shep {
+
+/// Oracle accuracies at one (data set, N); all MAPEs use the slot-mean
+/// reference.
+struct DynamicOutcome {
+  int days_d = 0;           ///< D used throughout (paper: 20).
+  double static_mape = 0.0; ///< best fixed (α, K) at this D.
+  double static_alpha = 0.0;
+  int static_k = 0;
+
+  double both_mape = 0.0;   ///< per-point min over (α, K) — "K+α".
+
+  double k_only_mape = 0.0; ///< per-point min over K at fixed α.
+  double k_only_alpha = 0.0;///< the fixed α that minimizes k_only_mape.
+
+  double alpha_only_mape = 0.0; ///< per-point min over α at fixed K.
+  int alpha_only_k = 0;         ///< the fixed K that minimizes it.
+
+  std::size_t count = 0;    ///< scored points.
+};
+
+/// Runs the oracle study on one context at history depth `days_d`, using
+/// the α and K axes of `grid` (the D axis is ignored).
+DynamicOutcome EvaluateDynamic(const SweepContext& context, int days_d,
+                               const ParamGrid& grid,
+                               const RoiFilter& filter = {});
+
+}  // namespace shep

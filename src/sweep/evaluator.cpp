@@ -1,0 +1,173 @@
+#include "sweep/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+
+namespace shep {
+
+namespace {
+/// Same night guard as core/wcma.cpp: below 1 mW a historical average is
+/// "night" and the η ratio is neutral.
+constexpr double kNightEpsilonW = 1e-3;
+}  // namespace
+
+SweepContext::SweepContext(const PowerTrace& trace, int slots_per_day)
+    : dataset_(trace.name()), series_(trace, slots_per_day) {
+  SHEP_REQUIRE(series_.days() >= 2, "sweep needs at least two days");
+  const std::size_t n = series_.slots_per_day();
+  const std::size_t days = series_.days();
+  cum_.assign((days + 1) * n, 0.0);
+  for (std::size_t d = 0; d < days; ++d) {
+    for (std::size_t j = 0; j < n; ++j) {
+      cum_[(d + 1) * n + j] = cum_[d * n + j] + series_.boundary(d * n + j);
+    }
+  }
+  peak_mean_ = series_.peak_mean();
+  peak_boundary_ = MaxValue(series_.boundaries());
+}
+
+double SweepContext::MuBefore(std::size_t day, std::size_t slot,
+                              std::size_t window) const {
+  SHEP_DCHECK(window >= 1 && window <= day, "mu window out of range");
+  const std::size_t n = series_.slots_per_day();
+  const double sum = cum_[day * n + slot] - cum_[(day - window) * n + slot];
+  return sum / static_cast<double>(window);
+}
+
+SweepContext::DSeries SweepContext::BuildD(int days_d) const {
+  SHEP_REQUIRE(days_d >= 1, "D must be >= 1");
+  const auto dcap = static_cast<std::size_t>(days_d);
+  const std::size_t n = series_.slots_per_day();
+  const std::size_t total = points();
+  DSeries out;
+  out.days_d = days_d;
+  out.mu_pred.resize(total);
+  out.eta.resize(total);
+  for (std::size_t g = 0; g < total; ++g) {
+    const std::size_t day = g / n;
+    const std::size_t slot = g % n;
+    const double sample = series_.boundary(g);
+
+    // η(g): today's sample vs the historical average current at observe
+    // time (days strictly before `day`, capped at D).
+    if (day == 0) {
+      out.eta[g] = 1.0;
+    } else {
+      const double mu = MuBefore(day, slot, std::min(day, dcap));
+      out.eta[g] = mu > kNightEpsilonW ? sample / mu : 1.0;
+    }
+
+    // μ_D of the predicted slot g+1 (after the Observe(g) rollover, so a
+    // completed day d is already part of the history when predicting day
+    // d+1's first slot).
+    const std::size_t pday = (g + 1) / n;
+    const std::size_t pslot = (g + 1) % n;
+    if (pday == 0) {
+      out.mu_pred[g] = -1.0;  // persistence-fallback sentinel
+    } else {
+      out.mu_pred[g] = MuBefore(pday, pslot, std::min(pday, dcap));
+    }
+  }
+  return out;
+}
+
+std::vector<double> SweepContext::BuildQ(const DSeries& d, int slots_k,
+                                         WcmaWeighting weighting) const {
+  SHEP_REQUIRE(slots_k >= 1, "K must be >= 1");
+  SHEP_REQUIRE(slots_k < slots_per_day(), "K must be < N");
+  const std::size_t total = points();
+  SHEP_CHECK(d.eta.size() == total, "DSeries does not match context");
+  std::vector<double> q(total);
+  for (std::size_t g = 0; g < total; ++g) {
+    if (d.mu_pred[g] < 0.0) {
+      q[g] = series_.boundary(g);  // persistence fallback on day 0
+      continue;
+    }
+    // Φ over the last K (or as many as exist) η values ending at g.
+    const std::size_t k_avail =
+        std::min<std::size_t>(static_cast<std::size_t>(slots_k), g + 1);
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < k_avail; ++i) {
+      const double theta =
+          weighting == WcmaWeighting::kRamp
+              ? static_cast<double>(i + 1) / static_cast<double>(k_avail)
+              : 1.0;
+      num += theta * d.eta[g - k_avail + 1 + i];
+      den += theta;
+    }
+    q[g] = d.mu_pred[g] * (num / den);
+  }
+  return q;
+}
+
+SweepContext::ConfigScore SweepContext::Score(const std::vector<double>& q,
+                                              double alpha,
+                                              const RoiFilter& filter) const {
+  SHEP_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");
+  const std::size_t total = points();
+  SHEP_CHECK(q.size() == total, "Q series does not match context");
+  const std::size_t n = series_.slots_per_day();
+
+  double m_ape = 0.0, m_abs = 0.0, m_sq = 0.0, m_err = 0.0;
+  std::size_t m_count = 0;
+  double b_ape = 0.0, b_abs = 0.0, b_sq = 0.0, b_err = 0.0;
+  std::size_t b_count = 0;
+
+  for (std::size_t g = 0; g < total; ++g) {
+    const std::size_t day = g / n;
+    const double pred = alpha * series_.boundary(g) + (1.0 - alpha) * q[g];
+
+    const double ref_mean = series_.mean(g);
+    if (filter.Includes(day, ref_mean, peak_mean_) && ref_mean > 0.0) {
+      const double err = ref_mean - pred;
+      m_ape += std::fabs(err) / ref_mean;
+      m_abs += std::fabs(err);
+      m_sq += err * err;
+      m_err += err;
+      ++m_count;
+    }
+    const double ref_bnd = series_.boundary(g + 1);
+    if (filter.Includes(day, ref_bnd, peak_boundary_) && ref_bnd > 0.0) {
+      const double err = ref_bnd - pred;
+      b_ape += std::fabs(err) / ref_bnd;
+      b_abs += std::fabs(err);
+      b_sq += err * err;
+      b_err += err;
+      ++b_count;
+    }
+  }
+
+  ConfigScore score;
+  if (m_count > 0) {
+    const double c = static_cast<double>(m_count);
+    score.mean.mape = m_ape / c;
+    score.mean.mae = m_abs / c;
+    score.mean.rmse = std::sqrt(m_sq / c);
+    score.mean.mbe = m_err / c;
+    score.mean.count = m_count;
+  }
+  if (b_count > 0) {
+    const double c = static_cast<double>(b_count);
+    score.boundary.mape = b_ape / c;
+    score.boundary.mae = b_abs / c;
+    score.boundary.rmse = std::sqrt(b_sq / c);
+    score.boundary.mbe = b_err / c;
+    score.boundary.count = b_count;
+  }
+  return score;
+}
+
+SweepContext::ConfigScore SweepContext::EvaluateConfig(
+    const WcmaParams& params, const RoiFilter& filter,
+    WcmaWeighting weighting) const {
+  params.Validate();
+  const DSeries d = BuildD(params.days);
+  const auto q = BuildQ(d, params.slots_k, weighting);
+  return Score(q, params.alpha, filter);
+}
+
+}  // namespace shep

@@ -1,0 +1,33 @@
+#include "sweep/grid.hpp"
+
+#include "common/check.hpp"
+
+namespace shep {
+
+ParamGrid ParamGrid::Paper() {
+  ParamGrid g;
+  for (int i = 0; i <= 10; ++i) g.alphas.push_back(i / 10.0);
+  for (int d = 2; d <= 20; ++d) g.days.push_back(d);
+  for (int k = 1; k <= 6; ++k) g.ks.push_back(k);
+  return g;
+}
+
+ParamGrid ParamGrid::Coarse() {
+  ParamGrid g;
+  g.alphas = {0.0, 0.25, 0.5, 0.75, 1.0};
+  g.days = {2, 5, 10, 20};
+  g.ks = {1, 2, 4};
+  return g;
+}
+
+void ParamGrid::Validate() const {
+  SHEP_REQUIRE(!alphas.empty() && !days.empty() && !ks.empty(),
+               "parameter grid must be non-empty in every dimension");
+  for (double a : alphas) {
+    SHEP_REQUIRE(a >= 0.0 && a <= 1.0, "alpha values must lie in [0,1]");
+  }
+  for (int d : days) SHEP_REQUIRE(d >= 1, "D values must be >= 1");
+  for (int k : ks) SHEP_REQUIRE(k >= 1, "K values must be >= 1");
+}
+
+}  // namespace shep

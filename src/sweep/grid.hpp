@@ -1,0 +1,36 @@
+// grid.hpp — the parameter grid of the paper's design exploration.
+//
+// Sec. IV-A: "the range of values used for the algorithm parameters are
+// N = {288, 96, 72, 48, 24}, 0 <= α <= 1, 2 <= D <= 20 and 1 <= K <= 6".
+// α is swept on a 0.1 grid (the granularity of every α the paper reports).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace shep {
+
+/// Cartesian parameter grid for the WCMA sweep.
+struct ParamGrid {
+  std::vector<double> alphas;
+  std::vector<int> days;     ///< D values
+  std::vector<int> ks;       ///< K values
+
+  /// The paper's exhaustive grid: α ∈ {0.0, 0.1, …, 1.0}, D ∈ {2..20},
+  /// K ∈ {1..6}.
+  static ParamGrid Paper();
+
+  /// A coarser grid for unit tests and quick examples:
+  /// α ∈ {0, 0.25, 0.5, 0.75, 1}, D ∈ {2, 5, 10, 20}, K ∈ {1, 2, 4}.
+  static ParamGrid Coarse();
+
+  /// Number of (α, D, K) combinations.
+  std::size_t size() const {
+    return alphas.size() * days.size() * ks.size();
+  }
+
+  /// Throws std::invalid_argument when empty or out of range.
+  void Validate() const;
+};
+
+}  // namespace shep

@@ -1,0 +1,46 @@
+#include "sweep/pareto.hpp"
+
+#include <algorithm>
+
+namespace shep {
+
+bool Dominates(const TradeoffPoint& a, const TradeoffPoint& b) {
+  const bool no_worse = a.mape <= b.mape &&
+                        a.energy_j_per_day <= b.energy_j_per_day &&
+                        a.memory_words <= b.memory_words;
+  const bool better = a.mape < b.mape ||
+                      a.energy_j_per_day < b.energy_j_per_day ||
+                      a.memory_words < b.memory_words;
+  return no_worse && better;
+}
+
+std::vector<std::size_t> ParetoFrontIndices(
+    std::span<const TradeoffPoint> points) {
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size(); ++j) {
+      if (j != i && Dominates(points[j], points[i])) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<TradeoffPoint> ParetoFront(
+    std::span<const TradeoffPoint> points) {
+  std::vector<TradeoffPoint> out;
+  for (std::size_t i : ParetoFrontIndices(points)) {
+    out.push_back(points[i]);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TradeoffPoint& a, const TradeoffPoint& b) {
+              return a.mape < b.mape;
+            });
+  return out;
+}
+
+}  // namespace shep

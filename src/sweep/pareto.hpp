@@ -1,0 +1,47 @@
+// pareto.hpp — multi-objective view of the design exploration.
+//
+// The paper's Tables III/IV and Figs. 6/7 are one-dimensional slices of a
+// single underlying trade-off: prediction accuracy vs the cost of getting
+// it (per-day management energy, history-matrix RAM).  This utility makes
+// the combined space explicit: each candidate configuration becomes a
+// point (MAPE, energy/day, memory words), and the Pareto front — the
+// configurations not dominated in all three objectives at once — is the
+// menu a deployment engineer actually chooses from.  bench/ext_pareto
+// prints it per site; the paper's guideline configuration (α≈0.7, D≈10,
+// K=2, N=48) should sit on or near the front.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace shep {
+
+/// One candidate configuration with its three costs (all minimized).
+struct TradeoffPoint {
+  // Objectives.
+  double mape = 0.0;            ///< prediction error (fraction).
+  double energy_j_per_day = 0.0;///< sampling + prediction energy.
+  double memory_words = 0.0;    ///< history matrix footprint D*N.
+  // Identity (payload, not used for dominance).
+  int slots_per_day = 0;
+  double alpha = 0.0;
+  int days_d = 0;
+  int slots_k = 0;
+};
+
+/// True when `a` dominates `b`: no worse in every objective and strictly
+/// better in at least one.
+bool Dominates(const TradeoffPoint& a, const TradeoffPoint& b);
+
+/// Indices of the non-dominated points, in input order.  O(n^2), fine for
+/// the few-thousand-point fronts the exploration produces.
+std::vector<std::size_t> ParetoFrontIndices(
+    std::span<const TradeoffPoint> points);
+
+/// Convenience: the non-dominated points themselves, sorted by MAPE
+/// ascending.
+std::vector<TradeoffPoint> ParetoFront(
+    std::span<const TradeoffPoint> points);
+
+}  // namespace shep

@@ -1,0 +1,55 @@
+// threadpool.hpp — minimal work-stealing-free thread pool for sweeps.
+//
+// The exhaustive design exploration of the paper (Sec. IV) evaluates tens of
+// thousands of (α, D, K, N) configurations per data set.  Configurations are
+// independent, so a fixed pool plus a shared atomic index is all the
+// scheduling we need; no external dependency is warranted.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace shep {
+
+/// Fixed-size thread pool executing enqueued tasks FIFO.
+class ThreadPool {
+ public:
+  /// \param threads  worker count; 0 selects hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Enqueues a task; tasks must not throw (they run under noexcept
+  /// expectations — wrap fallible work yourself).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [0, count) across the pool (or inline when pool is
+/// null), blocking until all iterations complete.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& fn);
+
+}  // namespace shep

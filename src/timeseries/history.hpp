@@ -1,0 +1,74 @@
+// history.hpp — the E_{D×N} matrix of past days' slot samples (paper Fig. 3).
+//
+// The prediction algorithm keeps the boundary samples of the last D days in a
+// D×N matrix and uses the per-slot column averages μ_D(j) (Eq. 2).  On the
+// target microcontroller this matrix is the predictor's dominant memory cost
+// (D*N 16-bit words), which is why the paper's guideline "D ≈ 10–11 suffices"
+// matters.  HistoryMatrix is a day-granular ring buffer: pushing day D+1
+// evicts the oldest day in O(N).
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace shep {
+
+/// Ring buffer of the last `capacity_days` days of per-slot samples.
+class HistoryMatrix {
+ public:
+  /// \param capacity_days  D: how many past days are retained (>= 1).
+  /// \param slots_per_day  N: slots per day (>= 1).
+  HistoryMatrix(std::size_t capacity_days, std::size_t slots_per_day);
+
+  std::size_t capacity_days() const { return capacity_; }
+  std::size_t slots_per_day() const { return slots_; }
+
+  /// Number of days currently stored (saturates at capacity).
+  std::size_t stored_days() const { return stored_; }
+
+  /// True once `capacity_days` days have been pushed; μ over the full window
+  /// is only meaningful then (the paper starts evaluation at day 21 so that
+  /// the matrix is full for D = 20).
+  bool full() const { return stored_ == capacity_; }
+
+  /// Appends a completed day's slot samples (size must equal N), evicting
+  /// the oldest day when at capacity.
+  void PushDay(std::span<const double> day_samples);
+
+  /// Convenience overload for literal days (tests, small examples).
+  void PushDay(std::initializer_list<double> day_samples) {
+    PushDay(std::span<const double>(day_samples.begin(),
+                                    day_samples.size()));
+  }
+
+  /// Sample of slot `slot` on the `age`-th most recent day (age 0 = the most
+  /// recently pushed day).  Requires age < stored_days().
+  double at_age(std::size_t age, std::size_t slot) const;
+
+  /// μ_D(slot): average of the slot's samples over the most recent
+  /// min(window_days, stored) days (Eq. 2).  Requires stored_days() > 0 and
+  /// 1 <= window_days <= capacity.
+  double Mu(std::size_t slot, std::size_t window_days) const;
+
+  /// μ over the full capacity window (the common case in the predictor).
+  double Mu(std::size_t slot) const { return Mu(slot, capacity_); }
+
+  /// Per-slot running sums over all stored days (used by tests).
+  std::vector<double> ColumnSums() const;
+
+  /// Memory footprint of the sample storage in 16-bit words — the quantity
+  /// the paper's parameter guideline targets ("conserving samples storage
+  /// memory requirement").
+  std::size_t FootprintWords() const { return capacity_ * slots_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t slots_;
+  std::size_t stored_ = 0;
+  std::size_t next_row_ = 0;          // ring-buffer write position
+  std::vector<double> data_;          // capacity x slots, row-major
+};
+
+}  // namespace shep

@@ -1,0 +1,137 @@
+#include "timeseries/quality.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace shep {
+
+namespace {
+
+bool IsGapValue(double v, const QualityOptions& options) {
+  return !std::isfinite(v) || v <= options.sentinel_threshold || v < 0.0;
+}
+
+/// Marks gap samples and stuck-run tails; returns the gap mask.
+std::vector<bool> BuildGapMask(const std::vector<double>& samples,
+                               const QualityOptions& options,
+                               QualityReport& report) {
+  std::vector<bool> gap(samples.size(), false);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (IsGapValue(samples[i], options)) {
+      gap[i] = true;
+      ++report.gaps;
+    }
+  }
+  // Stuck-sensor runs: identical positive values repeated implausibly long.
+  std::size_t run_start = 0;
+  for (std::size_t i = 1; i <= samples.size(); ++i) {
+    const bool same = i < samples.size() && !gap[i] && !gap[run_start] &&
+                      samples[i] == samples[run_start] &&
+                      samples[run_start] > 0.0;
+    if (!same) {
+      const std::size_t run_len = i - run_start;
+      if (!gap[run_start] && samples[run_start] > 0.0 &&
+          run_len >= options.stuck_run_length) {
+        ++report.stuck_runs;
+        for (std::size_t j = run_start + 1; j < i; ++j) gap[j] = true;
+      }
+      run_start = i;
+    }
+  }
+  return gap;
+}
+
+}  // namespace
+
+QualityReport ScreenSamples(const std::vector<double>& samples,
+                            int resolution_s,
+                            const QualityOptions& options) {
+  SHEP_REQUIRE(resolution_s > 0, "resolution must be positive");
+  QualityReport report;
+  report.samples = samples.size();
+  const auto gap = BuildGapMask(samples, options, report);
+  std::size_t longest = 0;
+  std::size_t current = 0;
+  for (bool g : gap) {
+    current = g ? current + 1 : 0;
+    longest = std::max(longest, current);
+  }
+  report.max_gap_minutes =
+      static_cast<double>(longest) * resolution_s / 60.0;
+  return report;
+}
+
+QualityReport RepairSamples(std::vector<double>& samples, int resolution_s,
+                            const QualityOptions& options) {
+  SHEP_REQUIRE(resolution_s > 0, "resolution must be positive");
+  SHEP_REQUIRE(kSecondsPerDay % resolution_s == 0,
+               "resolution must divide one day");
+  QualityReport report;
+  report.samples = samples.size();
+  auto gap = BuildGapMask(samples, options, report);
+  const std::size_t per_day =
+      static_cast<std::size_t>(kSecondsPerDay / resolution_s);
+
+  std::size_t i = 0;
+  std::size_t longest = 0;
+  while (i < samples.size()) {
+    if (!gap[i]) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i;
+    while (end < samples.size() && gap[end]) ++end;
+    const std::size_t len = end - i;
+    longest = std::max(longest, len);
+
+    const bool has_left = i > 0;
+    const bool has_right = end < samples.size();
+    if (len <= options.interpolate_up_to && has_left && has_right) {
+      // Short gap: linear interpolation between the bracketing samples.
+      const double left = samples[i - 1];
+      const double right = samples[end];
+      for (std::size_t j = 0; j < len; ++j) {
+        const double t =
+            static_cast<double>(j + 1) / static_cast<double>(len + 1);
+        samples[i + j] = std::max(0.0, left + (right - left) * t);
+      }
+    } else {
+      // Long/edge gap: borrow the same slots from the previous day, else
+      // the next day, else zero.
+      for (std::size_t j = i; j < end; ++j) {
+        double value = 0.0;
+        if (j >= per_day && !gap[j - per_day]) {
+          value = samples[j - per_day];
+        } else if (j + per_day < samples.size() && !gap[j + per_day]) {
+          value = samples[j + per_day];
+        }
+        samples[j] = std::max(0.0, value);
+      }
+    }
+    report.repaired += len;
+    i = end;
+  }
+  report.max_gap_minutes =
+      static_cast<double>(longest) * resolution_s / 60.0;
+
+  // Final guarantee: PowerTrace-acceptable.
+  for (double& v : samples) {
+    if (!std::isfinite(v) || v < 0.0) {
+      v = 0.0;
+    }
+  }
+  return report;
+}
+
+PowerTrace RepairedTrace(const std::string& name,
+                         std::vector<double> samples, int resolution_s,
+                         QualityReport* report,
+                         const QualityOptions& options) {
+  auto r = RepairSamples(samples, resolution_s, options);
+  if (report != nullptr) *report = r;
+  return PowerTrace(name, std::move(samples), resolution_s);
+}
+
+}  // namespace shep

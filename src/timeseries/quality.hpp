@@ -1,0 +1,67 @@
+// quality.hpp — data-quality checks and gap repair for measured traces.
+//
+// Real MIDC station exports (what the paper used) contain sensor dropouts,
+// stuck values, and negative night offsets.  The synthetic substrate never
+// needs repair, but a library that invites "drop in your own CSV" must
+// handle measurement pathology explicitly, and the evaluation protocol is
+// only meaningful on a repaired, day-aligned series.  A gap is encoded as
+// a NaN-free sentinel problem in MIDC exports (-9999 style codes) or as
+// zeros in daylight; both are detected here.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "timeseries/trace.hpp"
+
+namespace shep {
+
+/// Summary of suspect samples in a raw series.
+struct QualityReport {
+  std::size_t samples = 0;
+  std::size_t gaps = 0;           ///< sentinel/NaN/negative samples.
+  std::size_t stuck_runs = 0;     ///< daylight runs of identical values.
+  std::size_t repaired = 0;       ///< samples rewritten by Repair().
+  double max_gap_minutes = 0.0;   ///< longest contiguous gap.
+
+  bool clean() const { return gaps == 0 && stuck_runs == 0; }
+};
+
+/// Options for screening and repair.
+struct QualityOptions {
+  double sentinel_threshold = -100.0;  ///< values <= this are gap codes.
+  /// Daylight runs of >= this many identical positive samples count as a
+  /// stuck sensor (a real 1-minute pyranometer never repeats exactly for
+  /// an hour).
+  std::size_t stuck_run_length = 60;
+  /// Gaps longer than this many samples are filled from the previous day
+  /// (same slots) instead of linear interpolation — interpolating across
+  /// hours would invent a cloudless ramp.
+  std::size_t interpolate_up_to = 30;
+};
+
+/// Screens a raw sample vector (may contain sentinels/negatives/NaNs that
+/// PowerTrace would reject).  Pure analysis; no mutation.
+QualityReport ScreenSamples(const std::vector<double>& samples,
+                            int resolution_s,
+                            const QualityOptions& options = {});
+
+/// Repairs a raw sample vector in place:
+///  * sentinels/NaNs/negatives become gaps,
+///  * short gaps are linearly interpolated between valid neighbours,
+///  * long gaps copy the same samples from the previous day (or the next
+///    day for gaps on day 0; zero if neither exists),
+///  * stuck runs are treated as gaps past their first sample.
+/// Returns the report with `repaired` filled in.  The result is guaranteed
+/// to be accepted by PowerTrace (finite, non-negative).
+QualityReport RepairSamples(std::vector<double>& samples, int resolution_s,
+                            const QualityOptions& options = {});
+
+/// Convenience: repair + construct the trace.
+PowerTrace RepairedTrace(const std::string& name,
+                         std::vector<double> samples, int resolution_s,
+                         QualityReport* report = nullptr,
+                         const QualityOptions& options = {});
+
+}  // namespace shep

@@ -1,0 +1,26 @@
+// resample.hpp — resolution conversion between traces.
+//
+// The paper's data sets come at 1-minute and 5-minute resolution (Table I);
+// downsampling (block mean) lets the same synthetic site be rendered at
+// either resolution, and lets tests verify resolution-sensitivity claims
+// (Sec. III: "e̅ will be more accurate if solar power samples data is
+// available at a high resolution").
+#pragma once
+
+#include "timeseries/trace.hpp"
+
+namespace shep {
+
+/// Downsamples by block-averaging: each output sample is the mean of the
+/// `factor` input samples it covers.  `factor` = new_resolution / old.
+/// Preserves total energy exactly.
+PowerTrace DownsampleMean(const PowerTrace& trace, int factor);
+
+/// Downsamples by decimation: keeps the first sample of every block, which
+/// models a low-rate data logger that records instantaneous values.
+PowerTrace DownsampleDecimate(const PowerTrace& trace, int factor);
+
+/// Upsamples by sample-and-hold (each input sample repeated `factor` times).
+PowerTrace UpsampleHold(const PowerTrace& trace, int factor);
+
+}  // namespace shep

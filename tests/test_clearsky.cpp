@@ -1,0 +1,124 @@
+// Tests for solar/clearsky.hpp — solar geometry sanity.
+#include "solar/clearsky.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "timeseries/trace.hpp"
+
+namespace shep {
+namespace {
+
+TEST(Declination, SeasonalExtremes) {
+  // Summer solstice (~day 172): +23.45 deg; winter (~day 355): -23.45 deg.
+  EXPECT_NEAR(RadToDeg(SolarDeclinationRad(172)), 23.45, 0.1);
+  EXPECT_NEAR(RadToDeg(SolarDeclinationRad(355)), -23.45, 0.1);
+  // Equinoxes near zero.
+  EXPECT_NEAR(RadToDeg(SolarDeclinationRad(81)), 0.0, 1.0);
+}
+
+TEST(Declination, ValidatesDayOfYear) {
+  EXPECT_THROW(SolarDeclinationRad(0), std::invalid_argument);
+  EXPECT_THROW(SolarDeclinationRad(367), std::invalid_argument);
+}
+
+TEST(HourAngle, NoonIsZero) {
+  EXPECT_DOUBLE_EQ(HourAngleRad(12.0), 0.0);
+  EXPECT_NEAR(HourAngleRad(6.0), DegToRad(-90.0), 1e-12);
+  EXPECT_NEAR(HourAngleRad(18.0), DegToRad(90.0), 1e-12);
+}
+
+TEST(SinElevation, NoonAboveMorning) {
+  const double lat = DegToRad(40.0);
+  const double decl = SolarDeclinationRad(172);
+  const double noon = SinElevation(lat, decl, HourAngleRad(12.0));
+  const double morning = SinElevation(lat, decl, HourAngleRad(8.0));
+  EXPECT_GT(noon, morning);
+  EXPECT_GT(noon, 0.9);  // high summer sun at 40N
+}
+
+TEST(HaurwitzGhi, ZeroBelowHorizon) {
+  EXPECT_DOUBLE_EQ(HaurwitzGhi(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(HaurwitzGhi(-0.5), 0.0);
+}
+
+TEST(HaurwitzGhi, RealisticNoonPeak) {
+  // Overhead sun: ~1000 W/m^2 (Haurwitz: 1098*exp(-0.057) ≈ 1037).
+  EXPECT_NEAR(HaurwitzGhi(1.0), 1037.0, 5.0);
+  // Monotone in elevation.
+  EXPECT_LT(HaurwitzGhi(0.3), HaurwitzGhi(0.6));
+}
+
+TEST(ClearSkyDayGhi, ShapeAndNight) {
+  const auto ghi = ClearSkyDayGhi(40.0, 172, 60);
+  ASSERT_EQ(ghi.size(), 1440u);
+  // Night at local midnight, sun at local noon.
+  EXPECT_DOUBLE_EQ(ghi[0], 0.0);
+  const auto peak_it = std::max_element(ghi.begin(), ghi.end());
+  const auto peak_idx =
+      static_cast<std::size_t>(peak_it - ghi.begin());
+  EXPECT_NEAR(static_cast<double>(peak_idx), 720.0, 2.0);  // solar noon
+  EXPECT_GT(*peak_it, 800.0);
+  EXPECT_LT(*peak_it, 1100.0);
+}
+
+TEST(ClearSkyDayGhi, SummerBrighterThanWinter) {
+  const auto summer = ClearSkyDayGhi(40.0, 172, 300);
+  const auto winter = ClearSkyDayGhi(40.0, 355, 300);
+  double es = 0.0, ew = 0.0;
+  for (double v : summer) es += v;
+  for (double v : winter) ew += v;
+  EXPECT_GT(es, 1.8 * ew);
+}
+
+TEST(ClearSkyDayGhi, ValidatesResolution) {
+  EXPECT_THROW(ClearSkyDayGhi(40.0, 100, 7), std::invalid_argument);
+  EXPECT_THROW(ClearSkyDayGhi(40.0, 100, 0), std::invalid_argument);
+}
+
+TEST(DaylightHours, SeasonalAsymmetry) {
+  const double summer = DaylightHours(40.0, 172);
+  const double winter = DaylightHours(40.0, 355);
+  EXPECT_GT(summer, 14.0);
+  EXPECT_LT(summer, 15.5);
+  EXPECT_GT(winter, 8.5);
+  EXPECT_LT(winter, 10.0);
+  // Equator is ~12 h year-round.
+  EXPECT_NEAR(DaylightHours(0.0, 172), 12.0, 0.2);
+}
+
+TEST(DaylightHours, PolarCases) {
+  EXPECT_DOUBLE_EQ(DaylightHours(80.0, 172), 24.0);  // midnight sun
+  EXPECT_DOUBLE_EQ(DaylightHours(80.0, 355), 0.0);   // polar night
+}
+
+// Property: for all paper-site latitudes and several days, GHI is
+// non-negative, zero at midnight, and the daily curve is unimodal enough to
+// peak within 2 h of noon.
+class ClearSkyPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(ClearSkyPropertyTest, PhysicallyPlausible) {
+  const double lat = std::get<0>(GetParam());
+  const int doy = std::get<1>(GetParam());
+  const auto ghi = ClearSkyDayGhi(lat, doy, 300);
+  for (double v : ghi) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1200.0);
+  }
+  EXPECT_DOUBLE_EQ(ghi[0], 0.0);
+  const auto peak_idx = static_cast<std::size_t>(
+      std::max_element(ghi.begin(), ghi.end()) - ghi.begin());
+  EXPECT_NEAR(static_cast<double>(peak_idx), 144.0, 24.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SiteLatitudesAndSeasons, ClearSkyPropertyTest,
+    ::testing::Combine(::testing::Values(33.45, 35.93, 36.10, 36.28, 39.74,
+                                         40.88),
+                       ::testing::Values(21, 81, 172, 265, 355)));
+
+}  // namespace
+}  // namespace shep

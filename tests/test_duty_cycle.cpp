@@ -1,0 +1,100 @@
+// Tests for mgmt/duty_cycle.hpp.
+#include "mgmt/duty_cycle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace shep {
+namespace {
+
+DutyCycleConfig Config() {
+  DutyCycleConfig c;
+  c.slot_seconds = 1800.0;
+  c.active_power_w = 0.060;
+  c.sleep_power_w = 0.0;  // simplify hand calculations
+  c.min_duty = 0.02;
+  c.max_duty = 1.0;
+  c.target_level_fraction = 0.5;
+  c.level_gain = 0.0;  // pure energy-neutral mode unless a test enables it
+  return c;
+}
+
+TEST(DutyCycleConfig, Validation) {
+  EXPECT_NO_THROW(DutyCycleConfig{}.Validate());
+  auto c = Config();
+  c.slot_seconds = 0.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = Config();
+  c.sleep_power_w = 1.0;  // above active
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = Config();
+  c.min_duty = 0.9;
+  c.max_duty = 0.5;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+  c = Config();
+  c.level_gain = 2.0;
+  EXPECT_THROW(c.Validate(), std::invalid_argument);
+}
+
+TEST(DutyCycleController, EnergyNeutralDuty) {
+  // Active energy per slot at duty 1: 0.06 W × 1800 s = 108 J.
+  // Predicted 54 J -> duty 0.5.
+  DutyCycleController ctl(Config());
+  EXPECT_NEAR(ctl.DutyForSlot(54.0, 50.0, 100.0), 0.5, 1e-12);
+}
+
+TEST(DutyCycleController, ClampsToBounds) {
+  DutyCycleController ctl(Config());
+  EXPECT_DOUBLE_EQ(ctl.DutyForSlot(0.0, 50.0, 100.0), 0.02);   // floor
+  EXPECT_DOUBLE_EQ(ctl.DutyForSlot(500.0, 50.0, 100.0), 1.0);  // ceiling
+}
+
+TEST(DutyCycleController, LevelGainSteersTowardSetpoint) {
+  auto c = Config();
+  c.level_gain = 0.1;
+  DutyCycleController ctl(c);
+  const double at_setpoint = ctl.DutyForSlot(54.0, 50.0, 100.0);
+  const double above = ctl.DutyForSlot(54.0, 90.0, 100.0);
+  const double below = ctl.DutyForSlot(54.0, 10.0, 100.0);
+  EXPECT_GT(above, at_setpoint);  // surplus -> spend more
+  EXPECT_LT(below, at_setpoint);  // deficit -> conserve
+}
+
+TEST(DutyCycleController, ConsumptionMatchesDuty) {
+  auto c = Config();
+  c.sleep_power_w = 0.001;
+  DutyCycleController ctl(c);
+  // duty 0: sleep only.
+  EXPECT_NEAR(ctl.ConsumptionJ(0.0), 0.001 * 1800.0, 1e-12);
+  // duty 1: full active power.
+  EXPECT_NEAR(ctl.ConsumptionJ(1.0), 0.060 * 1800.0, 1e-12);
+  // halfway.
+  EXPECT_NEAR(ctl.ConsumptionJ(0.5), (0.001 + 0.5 * 0.059) * 1800.0, 1e-12);
+}
+
+TEST(DutyCycleController, RoundTripEnergyNeutrality) {
+  // The duty chosen for a prediction consumes exactly the predicted energy
+  // (within bounds) — the controller's defining property.
+  auto c = Config();
+  c.sleep_power_w = 0.002;
+  DutyCycleController ctl(c);
+  for (double predicted : {20.0, 54.0, 80.0}) {
+    const double duty = ctl.DutyForSlot(predicted, 50.0, 100.0);
+    if (duty > c.min_duty && duty < c.max_duty) {
+      EXPECT_NEAR(ctl.ConsumptionJ(duty), predicted, 1e-9);
+    }
+  }
+}
+
+TEST(DutyCycleController, InputValidation) {
+  DutyCycleController ctl(Config());
+  EXPECT_THROW(ctl.DutyForSlot(-1.0, 50.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ctl.DutyForSlot(10.0, -1.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ctl.DutyForSlot(10.0, 101.0, 100.0), std::invalid_argument);
+  EXPECT_THROW(ctl.DutyForSlot(10.0, 50.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(ctl.ConsumptionJ(1.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shep

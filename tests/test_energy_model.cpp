@@ -1,0 +1,160 @@
+// Tests for hw/energy_model.hpp — Table IV / Fig. 6 machinery.
+#include "hw/energy_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "solar/synth.hpp"
+
+namespace shep {
+namespace {
+
+PowerTrace NpcsTrace() {
+  SynthOptions opt;
+  opt.days = 30;
+  return SynthesizeTrace(SiteByCode("NPCS"), opt);
+}
+
+WakeupOps OpsFor(int k, double alpha, const PowerTrace& trace) {
+  WcmaParams p;
+  p.alpha = alpha;
+  p.days = 20;
+  p.slots_k = k;
+  return MeasureWakeupOps(p, trace, 48);
+}
+
+TEST(MeasureWakeupOps, CountsSteadyStateWakeups) {
+  const auto trace = NpcsTrace();
+  const auto ops = OpsFor(1, 0.7, trace);
+  // 30 days minus 20 warm-up days at N=48.
+  EXPECT_EQ(ops.wakeups, (30u - 20u) * 48u);
+  EXPECT_GT(ops.average.div, 0u);
+  EXPECT_GE(ops.full_work.div, ops.average.div);
+}
+
+TEST(MeasureWakeupOps, DivisionsGrowWithK) {
+  const auto trace = NpcsTrace();
+  const auto k1 = OpsFor(1, 0.7, trace);
+  const auto k4 = OpsFor(4, 0.7, trace);
+  EXPECT_GT(k4.full_work.div, k1.full_work.div);
+}
+
+TEST(MeasureWakeupOps, RejectsTooShortTrace) {
+  SynthOptions opt;
+  opt.days = 5;
+  const auto trace = SynthesizeTrace(SiteByCode("NPCS"), opt);
+  WcmaParams p;
+  p.days = 20;
+  EXPECT_THROW(MeasureWakeupOps(p, trace, 48), std::invalid_argument);
+}
+
+TEST(ActivityEnergy, PredictionEnergyInPaperBand) {
+  // Table IV: prediction adds ~3.6 µJ at (K=1, α=0.7) and ~8.4 µJ at
+  // (K=7, α=0.7); we require the same band and monotone growth.
+  const auto trace = NpcsTrace();
+  const McuPowerSpec spec;
+  const CycleCosts costs;
+
+  WcmaParams p1;
+  p1.alpha = 0.7;
+  p1.days = 20;
+  p1.slots_k = 1;
+  const auto e1 = ComputeActivityEnergy(
+      spec, costs, MeasureWakeupOps(p1, trace, 48).full_work);
+
+  WcmaParams p7 = p1;
+  p7.slots_k = 7;
+  const auto e7 = ComputeActivityEnergy(
+      spec, costs, MeasureWakeupOps(p7, trace, 48).full_work);
+
+  EXPECT_GT(e1.prediction_j, 2.0e-6);
+  EXPECT_LT(e1.prediction_j, 6.0e-6);
+  EXPECT_GT(e7.prediction_j, 6.0e-6);
+  EXPECT_LT(e7.prediction_j, 11.0e-6);
+  EXPECT_GT(e7.prediction_j, e1.prediction_j);
+  // Sample + prediction ≈ 58.6 / 63.4 µJ rows.
+  EXPECT_NEAR(e1.sample_and_predict_j, 58.6e-6, 3.0e-6);
+  EXPECT_NEAR(e7.sample_and_predict_j, 63.4e-6, 3.5e-6);
+}
+
+TEST(ActivityEnergy, AlphaZeroIsCheaperAtSameK) {
+  // Table IV row 4: (K=7, α=0) costs less than (K=7, α=0.7).
+  const auto trace = NpcsTrace();
+  const McuPowerSpec spec;
+  const CycleCosts costs;
+  WcmaParams pa;
+  pa.alpha = 0.7;
+  pa.days = 20;
+  pa.slots_k = 6;
+  WcmaParams pz = pa;
+  pz.alpha = 0.0;
+  const auto ea = ComputeActivityEnergy(
+      spec, costs, MeasureWakeupOps(pa, trace, 48).full_work);
+  const auto ez = ComputeActivityEnergy(
+      spec, costs, MeasureWakeupOps(pz, trace, 48).full_work);
+  EXPECT_LT(ez.prediction_j, ea.prediction_j);
+}
+
+TEST(ActivityEnergy, AdcDominatesPrediction) {
+  // Paper Sec. IV-B: "A/D conversion ... consumes the bulk of energy".
+  const auto trace = NpcsTrace();
+  const auto e = ComputeActivityEnergy(
+      McuPowerSpec{}, CycleCosts{},
+      MeasureWakeupOps(WcmaParams{}, trace, 48).full_work);
+  EXPECT_GT(e.adc_sample_j, 5.0 * e.prediction_j);
+}
+
+TEST(DayBudget, PaperDailyTotalsAtN48) {
+  // Table IV: sampling 48/day ≈ 2640 µJ; sampling+prediction ≈ 2880 µJ.
+  const auto trace = NpcsTrace();
+  const McuPowerSpec spec;
+  const CycleCosts costs;
+  WcmaParams p;
+  p.alpha = 0.7;
+  p.days = 20;
+  p.slots_k = 2;
+  const auto ops = MeasureWakeupOps(p, trace, 48).average;
+  const auto act = ComputeActivityEnergy(spec, costs, ops);
+  const auto budget = ComputeDayBudget(spec, costs, act, 48, ops);
+  EXPECT_NEAR(budget.sampling_j, 2640.0e-6, 150.0e-6);
+  EXPECT_NEAR(budget.management_j(), 2880.0e-6, 250.0e-6);
+  EXPECT_NEAR(budget.sleep_j, 0.360, 0.01);
+}
+
+TEST(DayBudget, OverheadPercentMatchesFig6Shape) {
+  // Fig. 6: ~4.85 % at N=288 down to ~0.40 % at N=24, monotone in N.
+  const auto trace = NpcsTrace();
+  const McuPowerSpec spec;
+  const CycleCosts costs;
+  WcmaParams p;
+  p.alpha = 0.7;
+  p.days = 20;
+  p.slots_k = 2;
+  const auto ops = MeasureWakeupOps(p, trace, 48).average;
+  const auto act = ComputeActivityEnergy(spec, costs, ops);
+
+  double prev = 0.0;
+  for (int n : {24, 48, 72, 96, 288}) {
+    const auto b = ComputeDayBudget(spec, costs, act, n, ops);
+    EXPECT_GT(b.OverheadPercent(), prev) << "N=" << n;
+    prev = b.OverheadPercent();
+  }
+  const auto b288 = ComputeDayBudget(spec, costs, act, 288, ops);
+  EXPECT_NEAR(b288.OverheadPercent(), 4.85, 0.6);
+  const auto b24 = ComputeDayBudget(spec, costs, act, 24, ops);
+  EXPECT_NEAR(b24.OverheadPercent(), 0.40, 0.1);
+}
+
+TEST(DayBudget, ActiveTimeIsTinyFractionOfDay) {
+  const auto trace = NpcsTrace();
+  const McuPowerSpec spec;
+  const CycleCosts costs;
+  const auto ops =
+      MeasureWakeupOps(WcmaParams{}, trace, 48).full_work;
+  const auto act = ComputeActivityEnergy(spec, costs, ops);
+  const auto b = ComputeDayBudget(spec, costs, act, 288, ops);
+  EXPECT_LT(b.active_s, 30.0);  // even at N=288, under half a minute awake
+  EXPECT_GT(b.active_s, 5.0);   // but the 45 ms settles do add up
+}
+
+}  // namespace
+}  // namespace shep

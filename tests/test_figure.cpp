@@ -1,0 +1,73 @@
+// Tests for report/figure.hpp.
+#include "report/figure.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shep {
+namespace {
+
+Series MakeSeries(const std::string& name) {
+  Series s;
+  s.name = name;
+  s.x = {1.0, 2.0, 3.0, 4.0};
+  s.y = {0.1, 0.4, 0.2, 0.3};
+  return s;
+}
+
+TEST(SeriesCsv, HeaderAndRows) {
+  const auto csv = SeriesCsv({MakeSeries("a"), MakeSeries("b")});
+  EXPECT_NE(csv.find("x,a,b"), std::string::npos);
+  EXPECT_NE(csv.find("1,0.1,0.1"), std::string::npos);
+  EXPECT_NE(csv.find("4,0.3,0.3"), std::string::npos);
+}
+
+TEST(SeriesCsv, RejectsMismatchedAxes) {
+  auto a = MakeSeries("a");
+  auto b = MakeSeries("b");
+  b.x[0] = 99.0;
+  EXPECT_THROW(SeriesCsv({a, b}), std::invalid_argument);
+  auto c = MakeSeries("c");
+  c.y.pop_back();
+  EXPECT_THROW(SeriesCsv({c}), std::invalid_argument);
+  EXPECT_THROW(SeriesCsv({}), std::invalid_argument);
+}
+
+TEST(AsciiChart, ContainsGlyphAndAxisLabels) {
+  const auto chart = AsciiChart(MakeSeries("demo"));
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find("0.4"), std::string::npos);  // y max
+  EXPECT_NE(chart.find("demo"), std::string::npos); // legend
+}
+
+TEST(AsciiChart, RejectsTinyCanvas) {
+  EXPECT_THROW(AsciiChart(MakeSeries("x"), 4, 2), std::invalid_argument);
+}
+
+TEST(AsciiChartMulti, UsesDistinctGlyphs) {
+  const auto chart = AsciiChartMulti({MakeSeries("a"), MakeSeries("b")});
+  EXPECT_NE(chart.find('*'), std::string::npos);
+  EXPECT_NE(chart.find('o'), std::string::npos);
+  EXPECT_NE(chart.find("a"), std::string::npos);
+  EXPECT_NE(chart.find("b"), std::string::npos);
+}
+
+TEST(AsciiChartMulti, RejectsEmpty) {
+  EXPECT_THROW(AsciiChartMulti({}), std::invalid_argument);
+}
+
+TEST(Sparkline, MapsRangeToLevels) {
+  const auto line = Sparkline({0.0, 1.0});
+  EXPECT_FALSE(line.empty());
+  // Lowest and highest glyphs present.
+  EXPECT_NE(line.find("▁"), std::string::npos);
+  EXPECT_NE(line.find("█"), std::string::npos);
+}
+
+TEST(Sparkline, HandlesConstantAndEmpty) {
+  EXPECT_EQ(Sparkline({}), "");
+  const auto flat = Sparkline({2.0, 2.0, 2.0});
+  EXPECT_FALSE(flat.empty());
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,125 @@
+// Tests for core/fixed_point.hpp — Q16.16 arithmetic.
+#include "core/fixed_point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+
+namespace shep {
+namespace {
+
+constexpr double kResolution = 1.0 / 65536.0;
+
+TEST(Fx, RoundTripsSmallValues) {
+  for (double v : {0.0, 1.0, -1.0, 0.5, 3.14159, -2.71828, 1000.0}) {
+    EXPECT_NEAR(Fx::FromDouble(v).ToDouble(), v, kResolution);
+  }
+}
+
+TEST(Fx, OneHasExpectedRaw) {
+  EXPECT_EQ(Fx::One().raw(), 65536);
+  EXPECT_EQ(Fx::Zero().raw(), 0);
+  EXPECT_EQ(Fx::FromInt(3).raw(), 3 * 65536);
+}
+
+TEST(Fx, AdditionAndSubtraction) {
+  const Fx a = Fx::FromDouble(1.25);
+  const Fx b = Fx::FromDouble(2.5);
+  EXPECT_NEAR((a + b).ToDouble(), 3.75, kResolution);
+  EXPECT_NEAR((a - b).ToDouble(), -1.25, kResolution);
+}
+
+TEST(Fx, Multiplication) {
+  const Fx a = Fx::FromDouble(1.5);
+  const Fx b = Fx::FromDouble(2.0);
+  EXPECT_NEAR((a * b).ToDouble(), 3.0, 2 * kResolution);
+  EXPECT_NEAR((a * Fx::Zero()).ToDouble(), 0.0, kResolution);
+  // Negative operand.
+  EXPECT_NEAR((Fx::FromDouble(-1.5) * b).ToDouble(), -3.0, 2 * kResolution);
+}
+
+TEST(Fx, Division) {
+  const Fx a = Fx::FromDouble(3.0);
+  const Fx b = Fx::FromDouble(2.0);
+  EXPECT_NEAR((a / b).ToDouble(), 1.5, 2 * kResolution);
+  EXPECT_NEAR((b / a).ToDouble(), 2.0 / 3.0, 2 * kResolution);
+}
+
+TEST(Fx, DivisionByZeroSaturates) {
+  EXPECT_EQ((Fx::One() / Fx::Zero()).raw(),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ((Fx::FromInt(-1) / Fx::Zero()).raw(),
+            std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Fx, AdditionSaturatesInsteadOfWrapping) {
+  const Fx big = Fx::FromDouble(30000.0);
+  const Fx sum = big + big;
+  EXPECT_EQ(sum.raw(), std::numeric_limits<std::int32_t>::max());
+  const Fx neg = Fx::FromDouble(-30000.0);
+  EXPECT_EQ((neg + neg).raw(), std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Fx, MultiplicationSaturates) {
+  const Fx big = Fx::FromDouble(1000.0);
+  EXPECT_EQ((big * big).raw(), std::numeric_limits<std::int32_t>::max());
+}
+
+TEST(Fx, FromDoubleSaturatesAtFormatLimits) {
+  EXPECT_EQ(Fx::FromDouble(1e9).raw(),
+            std::numeric_limits<std::int32_t>::max());
+  EXPECT_EQ(Fx::FromDouble(-1e9).raw(),
+            std::numeric_limits<std::int32_t>::min());
+}
+
+TEST(Fx, Comparisons) {
+  const Fx a = Fx::FromDouble(1.0);
+  const Fx b = Fx::FromDouble(2.0);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a >= a);
+  EXPECT_TRUE(a == Fx::FromDouble(1.0));
+}
+
+// Property: random in-range arithmetic tracks double arithmetic within the
+// format's quantisation error.
+TEST(FxProperty, RandomArithmeticTracksDoubles) {
+  Rng rng(321);
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.Uniform(-100.0, 100.0);
+    const double b = rng.Uniform(-100.0, 100.0);
+    const Fx fa = Fx::FromDouble(a);
+    const Fx fb = Fx::FromDouble(b);
+    EXPECT_NEAR((fa + fb).ToDouble(), a + b, 2 * kResolution);
+    EXPECT_NEAR((fa - fb).ToDouble(), a - b, 2 * kResolution);
+    // Product magnitude <= 10000, well in range; error scales with |a|+|b|.
+    EXPECT_NEAR((fa * fb).ToDouble(), a * b,
+                (std::fabs(a) + std::fabs(b) + 2) * kResolution);
+    if (std::fabs(b) > 0.01) {
+      EXPECT_NEAR((fa / fb).ToDouble(), a / b,
+                  (std::fabs(a / b) + 2) * kResolution / std::fabs(b) +
+                      2 * kResolution);
+    }
+  }
+}
+
+// Property: brightness-ratio style computations (the predictor's η) stay
+// accurate in the typical solar range.
+TEST(FxProperty, EtaRatiosAccurateInSolarRange) {
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    const double sample = rng.Uniform(0.05, 1.6);  // watts
+    const double mu = rng.Uniform(0.05, 1.6);
+    const double eta = sample / mu;
+    const double fx_eta =
+        (Fx::FromDouble(sample) / Fx::FromDouble(mu)).ToDouble();
+    EXPECT_NEAR(fx_eta, eta, 0.01 * eta + 1e-3);
+  }
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,61 @@
+// Tests for sweep/grid.hpp — the paper's exploration ranges.
+#include "sweep/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace shep {
+namespace {
+
+TEST(ParamGrid, PaperRangesMatchSectionIVA) {
+  const auto g = ParamGrid::Paper();
+  // "0 <= α <= 1" on a 0.1 grid.
+  ASSERT_EQ(g.alphas.size(), 11u);
+  EXPECT_DOUBLE_EQ(g.alphas.front(), 0.0);
+  EXPECT_DOUBLE_EQ(g.alphas.back(), 1.0);
+  EXPECT_DOUBLE_EQ(g.alphas[7], 0.7);
+  // "2 <= D <= 20".
+  ASSERT_EQ(g.days.size(), 19u);
+  EXPECT_EQ(g.days.front(), 2);
+  EXPECT_EQ(g.days.back(), 20);
+  // "1 <= K <= 6".
+  ASSERT_EQ(g.ks.size(), 6u);
+  EXPECT_EQ(g.ks.front(), 1);
+  EXPECT_EQ(g.ks.back(), 6);
+  EXPECT_EQ(g.size(), 11u * 19u * 6u);
+  EXPECT_NO_THROW(g.Validate());
+}
+
+TEST(ParamGrid, CoarseIsSmallAndValid) {
+  const auto g = ParamGrid::Coarse();
+  EXPECT_LT(g.size(), 100u);
+  EXPECT_NO_THROW(g.Validate());
+}
+
+TEST(ParamGrid, ValidationCatchesEmptyAxes) {
+  ParamGrid g = ParamGrid::Coarse();
+  g.alphas.clear();
+  EXPECT_THROW(g.Validate(), std::invalid_argument);
+}
+
+TEST(ParamGrid, ValidationCatchesOutOfRange) {
+  {
+    ParamGrid g = ParamGrid::Coarse();
+    g.alphas.push_back(1.5);
+    EXPECT_THROW(g.Validate(), std::invalid_argument);
+  }
+  {
+    ParamGrid g = ParamGrid::Coarse();
+    g.days.push_back(0);
+    EXPECT_THROW(g.Validate(), std::invalid_argument);
+  }
+  {
+    ParamGrid g = ParamGrid::Coarse();
+    g.ks.push_back(-1);
+    EXPECT_THROW(g.Validate(), std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace shep

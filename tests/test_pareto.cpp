@@ -1,0 +1,82 @@
+// Tests for sweep/pareto.hpp — multi-objective dominance.
+#include "sweep/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shep {
+namespace {
+
+TradeoffPoint Point(double mape, double energy, double memory) {
+  TradeoffPoint p;
+  p.mape = mape;
+  p.energy_j_per_day = energy;
+  p.memory_words = memory;
+  return p;
+}
+
+TEST(Dominates, StrictAndPartialOrders) {
+  const auto a = Point(0.10, 1.0, 100);
+  const auto b = Point(0.20, 2.0, 200);
+  EXPECT_TRUE(Dominates(a, b));
+  EXPECT_FALSE(Dominates(b, a));
+  // Equal in all objectives: neither dominates.
+  EXPECT_FALSE(Dominates(a, a));
+  // Trade-off: better error, worse energy — no dominance either way.
+  const auto c = Point(0.05, 5.0, 100);
+  EXPECT_FALSE(Dominates(a, c));
+  EXPECT_FALSE(Dominates(c, a));
+}
+
+TEST(Dominates, EqualInTwoBetterInOne) {
+  const auto a = Point(0.10, 1.0, 100);
+  const auto b = Point(0.10, 1.0, 150);
+  EXPECT_TRUE(Dominates(a, b));
+}
+
+TEST(ParetoFrontIndices, KeepsOnlyNonDominated) {
+  std::vector<TradeoffPoint> pts{
+      Point(0.10, 3.0, 300),  // front (best error)
+      Point(0.20, 1.0, 300),  // front (best energy)
+      Point(0.20, 3.0, 100),  // front (best memory)
+      Point(0.25, 3.5, 350),  // dominated by all three
+      Point(0.10, 3.0, 300),  // duplicate of 0: not dominated (ties)
+  };
+  const auto idx = ParetoFrontIndices(pts);
+  ASSERT_EQ(idx.size(), 4u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 1u);
+  EXPECT_EQ(idx[2], 2u);
+  EXPECT_EQ(idx[3], 4u);
+}
+
+TEST(ParetoFront, SortedByMape) {
+  std::vector<TradeoffPoint> pts{
+      Point(0.30, 1.0, 100),
+      Point(0.10, 3.0, 300),
+      Point(0.20, 2.0, 200),
+  };
+  const auto front = ParetoFront(pts);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_DOUBLE_EQ(front[0].mape, 0.10);
+  EXPECT_DOUBLE_EQ(front[1].mape, 0.20);
+  EXPECT_DOUBLE_EQ(front[2].mape, 0.30);
+}
+
+TEST(ParetoFront, EmptyAndSingleton) {
+  EXPECT_TRUE(ParetoFront({}).empty());
+  std::vector<TradeoffPoint> one{Point(0.1, 1.0, 10)};
+  EXPECT_EQ(ParetoFront(one).size(), 1u);
+}
+
+TEST(ParetoFront, ChainCollapsesToBest) {
+  // Monotone chain: each point worse in everything; only the first
+  // survives.
+  std::vector<TradeoffPoint> pts;
+  for (int i = 0; i < 10; ++i) {
+    pts.push_back(Point(0.1 + i * 0.01, 1.0 + i, 100 + i));
+  }
+  EXPECT_EQ(ParetoFront(pts).size(), 1u);
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,136 @@
+// Tests for hw/predictor_program.hpp — the VM build of Eq. 1.
+#include "hw/predictor_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace shep {
+namespace {
+
+WcmaVmInputs RandomInputs(int k, Rng& rng) {
+  WcmaVmInputs in;
+  in.sample = rng.Uniform(0.0, 1.5);
+  in.mu_next = rng.Uniform(0.01, 1.5);
+  for (int i = 0; i < k; ++i) {
+    in.recent_samples.push_back(rng.Uniform(0.0, 1.5));
+    in.recent_mus.push_back(rng.Uniform(0.01, 1.5));
+  }
+  return in;
+}
+
+// Property: the VM-executed routine equals the double-precision formula
+// for every K and a spread of α values.
+class ProgramEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ProgramEquivalenceTest, VmMatchesReferenceFormula) {
+  const auto [k, alpha] = GetParam();
+  WcmaProgramLayout layout;
+  layout.slots_k = k;
+  layout.alpha = alpha;
+  Rng rng(static_cast<std::uint64_t>(k * 1000 + alpha * 100));
+  for (int rep = 0; rep < 50; ++rep) {
+    const auto in = RandomInputs(k, rng);
+    const auto run = RunWcmaOnVm(layout, in);
+    ASSERT_TRUE(run.vm.ok) << run.vm.trap;
+    EXPECT_NEAR(run.prediction, ReferenceWcmaPrediction(layout, in), 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAlphaGrid, ProgramEquivalenceTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 7),
+                       ::testing::Values(0.0, 0.3, 0.7, 1.0)));
+
+TEST(PredictorProgram, NightGuardBranchTaken) {
+  WcmaProgramLayout layout;
+  layout.slots_k = 2;
+  layout.alpha = 0.5;
+  WcmaVmInputs in;
+  in.sample = 1.0;
+  in.mu_next = 0.8;
+  in.recent_samples = {0.5, 1.0};
+  in.recent_mus = {0.0, 1.0};  // first slot is "night": η must become 1
+  const auto run = RunWcmaOnVm(layout, in);
+  ASSERT_TRUE(run.vm.ok) << run.vm.trap;
+  EXPECT_NEAR(run.prediction, ReferenceWcmaPrediction(layout, in), 1e-12);
+  // And the reference treats η(0) as 1: Φ = (1/2·1 + 1·1)/1.5 = 1.
+  EXPECT_NEAR(run.prediction, 0.5 * 1.0 + 0.5 * 0.8 * 1.0, 1e-12);
+}
+
+TEST(PredictorProgram, CyclesGrowMonotonicallyWithK) {
+  // Table IV mechanism on the VM: each extra conditioning slot costs about
+  // one more software division.
+  WcmaProgramLayout layout;
+  layout.alpha = 0.7;
+  Rng rng(7);
+  double prev_cycles = 0.0;
+  const CycleCosts costs;
+  for (int k = 1; k <= 7; ++k) {
+    layout.slots_k = k;
+    const auto in = RandomInputs(k, rng);
+    const auto run = RunWcmaOnVm(layout, in, costs);
+    ASSERT_TRUE(run.vm.ok) << run.vm.trap;
+    if (k > 1) {
+      EXPECT_GT(run.vm.cycles, prev_cycles + 0.8 * costs.div) << "K=" << k;
+    }
+    prev_cycles = run.vm.cycles;
+  }
+}
+
+TEST(PredictorProgram, AlphaZeroIsCheaperThanBlend) {
+  Rng rng(11);
+  const auto in = RandomInputs(7, rng);
+  WcmaProgramLayout blend;
+  blend.slots_k = 7;
+  blend.alpha = 0.7;
+  WcmaProgramLayout zero = blend;
+  zero.alpha = 0.0;
+  const auto run_blend = RunWcmaOnVm(blend, in);
+  const auto run_zero = RunWcmaOnVm(zero, in);
+  ASSERT_TRUE(run_blend.vm.ok && run_zero.vm.ok);
+  EXPECT_LT(run_zero.vm.cycles, run_blend.vm.cycles);
+}
+
+TEST(PredictorProgram, AlphaOneIsAlmostFree) {
+  Rng rng(13);
+  const auto in = RandomInputs(3, rng);
+  WcmaProgramLayout one;
+  one.slots_k = 3;
+  one.alpha = 1.0;
+  const auto run = RunWcmaOnVm(one, in);
+  ASSERT_TRUE(run.vm.ok);
+  EXPECT_DOUBLE_EQ(run.prediction, in.sample);
+  EXPECT_EQ(run.vm.ops.div, 0u);
+  EXPECT_LT(run.vm.instructions, 5u);
+}
+
+TEST(PredictorProgram, ValidatesInputs) {
+  WcmaProgramLayout layout;
+  layout.slots_k = 0;
+  EXPECT_THROW(BuildWcmaPredictProgram(layout), std::invalid_argument);
+  layout.slots_k = 2;
+  layout.alpha = 1.5;
+  EXPECT_THROW(BuildWcmaPredictProgram(layout), std::invalid_argument);
+
+  layout = WcmaProgramLayout{};
+  layout.slots_k = 3;
+  WcmaVmInputs in;
+  in.recent_samples = {1.0};  // wrong size
+  in.recent_mus = {1.0, 1.0, 1.0};
+  EXPECT_THROW(RunWcmaOnVm(layout, in), std::invalid_argument);
+}
+
+TEST(PredictorProgram, MemoryLayoutIsCompact) {
+  WcmaProgramLayout layout;
+  layout.slots_k = 4;
+  EXPECT_EQ(layout.recent_mu_base(), 8u);
+  EXPECT_EQ(layout.theta_base(), 12u);
+  EXPECT_EQ(layout.memory_words(), 16u);
+}
+
+}  // namespace
+}  // namespace shep

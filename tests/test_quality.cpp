@@ -1,0 +1,120 @@
+// Tests for timeseries/quality.hpp — gap screening and repair.
+#include "timeseries/quality.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace shep {
+namespace {
+
+// 4 samples per day (21600 s) keeps the arithmetic inspectable.
+constexpr int kRes = 21600;
+
+TEST(ScreenSamples, CleanDataIsClean) {
+  const std::vector<double> v{0.0, 1.0, 2.0, 1.0};
+  const auto r = ScreenSamples(v, kRes);
+  EXPECT_TRUE(r.clean());
+  EXPECT_EQ(r.samples, 4u);
+  EXPECT_DOUBLE_EQ(r.max_gap_minutes, 0.0);
+}
+
+TEST(ScreenSamples, DetectsSentinelsNansAndNegatives) {
+  const std::vector<double> v{
+      0.0, -9999.0, std::numeric_limits<double>::quiet_NaN(), -0.5};
+  const auto r = ScreenSamples(v, kRes);
+  EXPECT_EQ(r.gaps, 3u);
+  EXPECT_FALSE(r.clean());
+}
+
+TEST(ScreenSamples, MeasuresLongestGap) {
+  std::vector<double> v(8, 1.0);
+  v[2] = v[3] = v[4] = -9999.0;
+  const auto r = ScreenSamples(v, kRes);
+  EXPECT_DOUBLE_EQ(r.max_gap_minutes, 3.0 * kRes / 60.0);
+}
+
+TEST(ScreenSamples, DetectsStuckRuns) {
+  QualityOptions opt;
+  opt.stuck_run_length = 3;
+  std::vector<double> v{1.0, 0.7, 0.7, 0.7, 0.7, 2.0, 0.0, 1.0};
+  const auto r = ScreenSamples(v, kRes, opt);
+  EXPECT_EQ(r.stuck_runs, 1u);
+}
+
+TEST(ScreenSamples, ZeroRunsAtNightAreNotStuck) {
+  QualityOptions opt;
+  opt.stuck_run_length = 3;
+  std::vector<double> v{0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0, 0.0};
+  const auto r = ScreenSamples(v, kRes, opt);
+  EXPECT_EQ(r.stuck_runs, 0u);
+}
+
+TEST(RepairSamples, InterpolatesShortGaps) {
+  std::vector<double> v{1.0, -9999.0, -9999.0, 4.0};
+  const auto r = RepairSamples(v, kRes);
+  EXPECT_EQ(r.repaired, 2u);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 3.0);
+}
+
+TEST(RepairSamples, LongGapsBorrowPreviousDay) {
+  QualityOptions opt;
+  opt.interpolate_up_to = 1;
+  // Two days of 4 samples; day 2 slot 1..2 missing -> copy day 1.
+  std::vector<double> v{0.0, 2.0, 3.0, 1.0, 0.0, -9999.0, -9999.0, 1.5};
+  const auto r = RepairSamples(v, kRes, opt);
+  EXPECT_EQ(r.repaired, 2u);
+  EXPECT_DOUBLE_EQ(v[5], 2.0);
+  EXPECT_DOUBLE_EQ(v[6], 3.0);
+}
+
+TEST(RepairSamples, LeadingGapBorrowsNextDay) {
+  QualityOptions opt;
+  opt.interpolate_up_to = 0;  // force day-borrowing
+  std::vector<double> v{-9999.0, 2.0, 3.0, 1.0, 0.5, 2.5, 3.5, 1.5};
+  RepairSamples(v, kRes, opt);
+  EXPECT_DOUBLE_EQ(v[0], 0.5);  // from day 2 slot 0
+}
+
+TEST(RepairSamples, OutputAlwaysTraceable) {
+  std::vector<double> v{-9999.0, std::numeric_limits<double>::infinity(),
+                        -1.0,    std::numeric_limits<double>::quiet_NaN(),
+                        1.0,     2.0,
+                        3.0,     0.0};
+  RepairSamples(v, kRes);
+  EXPECT_NO_THROW(PowerTrace("repaired", v, kRes));
+}
+
+TEST(RepairSamples, StuckRunTailIsRewritten) {
+  QualityOptions opt;
+  opt.stuck_run_length = 3;
+  opt.interpolate_up_to = 10;
+  std::vector<double> v{1.0, 0.7, 0.7, 0.7, 0.7, 2.0, 1.0, 0.0};
+  const auto r = RepairSamples(v, kRes, opt);
+  EXPECT_GT(r.repaired, 0u);
+  // First sample of the run is kept, the tail is interpolated toward 2.0.
+  EXPECT_DOUBLE_EQ(v[1], 0.7);
+  EXPECT_GT(v[4], 0.7);
+  EXPECT_LT(v[4], 2.0);
+}
+
+TEST(RepairedTrace, EndToEnd) {
+  std::vector<double> v{0.0, -9999.0, 3.0, 1.0};
+  QualityReport report;
+  const auto trace = RepairedTrace("T", v, kRes, &report);
+  EXPECT_EQ(report.gaps, 1u);
+  EXPECT_EQ(report.repaired, 1u);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_DOUBLE_EQ(trace.at(0, 1), 1.5);
+}
+
+TEST(RepairSamples, Validation) {
+  std::vector<double> v{1.0};
+  EXPECT_THROW(RepairSamples(v, 0), std::invalid_argument);
+  EXPECT_THROW(RepairSamples(v, 7), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,82 @@
+// Tests for timeseries/resample.hpp.
+#include "timeseries/resample.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shep {
+namespace {
+
+PowerTrace MinuteRamp(std::size_t days) {
+  std::vector<double> v(days * 1440);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(i % 1440);
+  }
+  return PowerTrace("T", std::move(v), 60);
+}
+
+TEST(DownsampleMean, FiveMinuteBlocks) {
+  const auto t = MinuteRamp(1);
+  const auto d = DownsampleMean(t, 5);
+  EXPECT_EQ(d.resolution_s(), 300);
+  EXPECT_EQ(d.samples_per_day(), 288u);
+  // First block: mean(0..4) = 2.
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 7.0);
+}
+
+TEST(DownsampleMean, PreservesTotalEnergy) {
+  const auto t = MinuteRamp(2);
+  const auto d = DownsampleMean(t, 5);
+  EXPECT_NEAR(d.total_energy_j(), t.total_energy_j(), 1e-6);
+}
+
+TEST(DownsampleMean, FactorOneIsIdentity) {
+  const auto t = MinuteRamp(1);
+  const auto d = DownsampleMean(t, 1);
+  EXPECT_EQ(d.size(), t.size());
+  EXPECT_DOUBLE_EQ(d.at(0, 100), t.at(0, 100));
+}
+
+TEST(DownsampleDecimate, KeepsFirstOfBlock) {
+  const auto t = MinuteRamp(1);
+  const auto d = DownsampleDecimate(t, 5);
+  EXPECT_DOUBLE_EQ(d.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(d.at(0, 2), 10.0);
+}
+
+TEST(UpsampleHold, RepeatsSamples) {
+  std::vector<double> v(288);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  const PowerTrace t("T", v, 300);
+  const auto u = UpsampleHold(t, 5);
+  EXPECT_EQ(u.resolution_s(), 60);
+  EXPECT_DOUBLE_EQ(u.at(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(u.at(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(u.at(0, 5), 1.0);
+}
+
+TEST(Resample, UpsampleThenDownsampleIsIdentity) {
+  std::vector<double> v(288);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>((i * 7) % 100);
+  }
+  const PowerTrace t("T", v, 300);
+  const auto round = DownsampleMean(UpsampleHold(t, 5), 5);
+  ASSERT_EQ(round.size(), t.size());
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    EXPECT_NEAR(round.samples()[i], t.samples()[i], 1e-12);
+  }
+}
+
+TEST(Resample, ValidatesFactors) {
+  const auto t = MinuteRamp(1);
+  EXPECT_THROW(DownsampleMean(t, 0), std::invalid_argument);
+  EXPECT_THROW(DownsampleMean(t, 7), std::invalid_argument);  // 1440 % 7 != 0
+  EXPECT_THROW(UpsampleHold(t, 7), std::invalid_argument);    // 60 % 7 != 0
+}
+
+}  // namespace
+}  // namespace shep

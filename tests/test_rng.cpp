@@ -1,0 +1,157 @@
+// Tests for common/rng.hpp: determinism, distribution sanity, forking.
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace shep {
+namespace {
+
+TEST(SplitMix64, ProducesKnownSequenceProperties) {
+  std::uint64_t state = 0;
+  const auto a = SplitMix64(state);
+  const auto b = SplitMix64(state);
+  EXPECT_NE(a, b);
+  // Same seed must reproduce the same stream.
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(state2), a);
+  EXPECT_EQ(SplitMix64(state2), b);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ZeroSeedIsNotDegenerate) {
+  Rng r(0);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(r.NextU64());
+  EXPECT_GT(seen.size(), 95u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextDoubleMeanNearHalf) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.NextDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng r(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.Uniform(-2.5, 7.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(Rng, UniformRejectsInvertedBounds) {
+  Rng r(3);
+  EXPECT_THROW(r.Uniform(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(13);
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, GaussianScaled) {
+  Rng r(17);
+  const int n = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += r.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, GaussianRejectsNegativeSigma) {
+  Rng r(1);
+  EXPECT_THROW(r.Gaussian(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, NextBelowInRangeAndCoversValues) {
+  Rng r(19);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = r.NextBelow(10);
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng r(1);
+  EXPECT_THROW(r.NextBelow(0), std::invalid_argument);
+}
+
+TEST(Rng, NextBoolEdgeProbabilities) {
+  Rng r(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.NextBool(0.0));
+    EXPECT_TRUE(r.NextBool(1.0));
+  }
+}
+
+TEST(Rng, NextBoolFrequencyTracksP) {
+  Rng r(29);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.NextBool(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkStreamsAreIndependentAndStable) {
+  Rng parent(100);
+  Rng c1 = parent.Fork(1);
+  Rng c2 = parent.Fork(2);
+  Rng c1_again = parent.Fork(1);
+  EXPECT_EQ(c1.NextU64(), c1_again.NextU64());
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.NextU64() == c2.NextU64()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, ForkDoesNotAdvanceParent) {
+  Rng a(5);
+  Rng b(5);
+  (void)a.Fork(3);
+  EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,136 @@
+// Tests for timeseries/slotting.hpp — the paper's Fig. 4 geometry.
+#include "timeseries/slotting.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shep {
+namespace {
+
+PowerTrace MakeTrace(std::size_t days, int resolution_s) {
+  const std::size_t per_day =
+      static_cast<std::size_t>(kSecondsPerDay / resolution_s);
+  std::vector<double> v(days * per_day);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    v[i] = static_cast<double>(i % per_day);
+  }
+  return PowerTrace("T", std::move(v), resolution_s);
+}
+
+TEST(SlotGrid, PaperGeometryAt5Minutes) {
+  // Sec. III example: T = 30 min (N = 48) with 5-minute data -> M = 6.
+  const auto trace = MakeTrace(1, 300);
+  const auto grid = SlotGrid::Make(trace, 48);
+  EXPECT_EQ(grid.slots_per_day, 48);
+  EXPECT_EQ(grid.samples_per_slot, 6);
+  EXPECT_EQ(grid.slot_seconds, 1800);
+  EXPECT_FALSE(grid.degenerate());
+}
+
+TEST(SlotGrid, N288IsDegenerateOn5MinuteData) {
+  // Table III footnote: N=288 "is not defined" for the 5-minute sites.
+  const auto trace = MakeTrace(1, 300);
+  const auto grid = SlotGrid::Make(trace, 288);
+  EXPECT_EQ(grid.samples_per_slot, 1);
+  EXPECT_TRUE(grid.degenerate());
+}
+
+TEST(SlotGrid, N288IsFineOn1MinuteData) {
+  const auto trace = MakeTrace(1, 60);
+  const auto grid = SlotGrid::Make(trace, 288);
+  EXPECT_EQ(grid.samples_per_slot, 5);
+  EXPECT_FALSE(grid.degenerate());
+}
+
+TEST(SlotGrid, RejectsNonDividingN) {
+  const auto trace = MakeTrace(1, 300);
+  EXPECT_THROW(SlotGrid::Make(trace, 7), std::invalid_argument);
+  EXPECT_THROW(SlotGrid::Make(trace, 0), std::invalid_argument);
+  // N=576 -> slot 150 s, not a multiple of the 300 s resolution.
+  EXPECT_THROW(SlotGrid::Make(trace, 576), std::invalid_argument);
+}
+
+TEST(SlotSeries, BoundaryIsFirstSampleOfSlot) {
+  const auto trace = MakeTrace(2, 3600);  // 24 samples/day, values 0..23
+  const SlotSeries s(trace, 12);          // M = 2
+  EXPECT_EQ(s.size(), 24u);
+  EXPECT_DOUBLE_EQ(s.boundary(0), 0.0);
+  EXPECT_DOUBLE_EQ(s.boundary(1), 2.0);
+  EXPECT_DOUBLE_EQ(s.boundary(12), 0.0);  // day 2 repeats the ramp
+}
+
+TEST(SlotSeries, MeanIsAverageOfSlotSamples) {
+  const auto trace = MakeTrace(1, 3600);
+  const SlotSeries s(trace, 12);  // slots of samples {0,1},{2,3},...
+  EXPECT_DOUBLE_EQ(s.mean(0), 0.5);
+  EXPECT_DOUBLE_EQ(s.mean(1), 2.5);
+  EXPECT_DOUBLE_EQ(s.mean(11), 22.5);
+}
+
+TEST(SlotSeries, SlotEnergyIsMeanTimesT) {
+  const auto trace = MakeTrace(1, 3600);
+  const SlotSeries s(trace, 12);
+  EXPECT_DOUBLE_EQ(s.slot_energy_j(1), 2.5 * 7200.0);
+}
+
+TEST(SlotSeries, DegenerateGridMeansEqualBoundaries) {
+  // M = 1: the slot mean IS the boundary sample — the mechanism behind the
+  // paper's "0†" entries at N=288 on 5-minute data.
+  const auto trace = MakeTrace(2, 300);
+  const SlotSeries s(trace, 288);
+  for (std::size_t g = 0; g < s.size(); ++g) {
+    EXPECT_DOUBLE_EQ(s.boundary(g), s.mean(g));
+  }
+}
+
+TEST(SlotSeries, GlobalIndexingRoundTrips) {
+  const auto trace = MakeTrace(3, 3600);
+  const SlotSeries s(trace, 24);
+  const auto g = s.global_index(2, 5);
+  EXPECT_EQ(g, 53u);
+  EXPECT_EQ(s.day_of(g), 2u);
+  EXPECT_EQ(s.slot_of(g), 5u);
+}
+
+TEST(SlotSeries, DayViewsHaveNSlots) {
+  const auto trace = MakeTrace(2, 3600);
+  const SlotSeries s(trace, 8);
+  EXPECT_EQ(s.day_boundaries(0).size(), 8u);
+  EXPECT_EQ(s.day_means(1).size(), 8u);
+  EXPECT_THROW(s.day_means(2), std::invalid_argument);
+}
+
+TEST(SlotSeries, PeakMeanIsMaxOfMeans) {
+  std::vector<double> v(24, 0.0);
+  v[4] = 10.0;  // spike inside slot 2 (with N=12, M=2)
+  PowerTrace trace("T", v, 3600);
+  const SlotSeries s(trace, 12);
+  EXPECT_DOUBLE_EQ(s.peak_mean(), 5.0);  // (10+0)/2
+}
+
+// Property sweep: for every paper N, boundaries and means are consistent
+// with the raw trace.
+class SlotSeriesParamTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SlotSeriesParamTest, ConsistentWithRawSamplesAt1Minute) {
+  const int n = GetParam();
+  const auto trace = MakeTrace(2, 60);
+  const SlotSeries s(trace, n);
+  const auto m = static_cast<std::size_t>(s.grid().samples_per_slot);
+  ASSERT_EQ(s.size(), 2u * static_cast<std::size_t>(n));
+  for (std::size_t g = 0; g < s.size(); g += 37) {  // stride for speed
+    const std::size_t day = s.day_of(g);
+    const std::size_t slot = s.slot_of(g);
+    EXPECT_DOUBLE_EQ(s.boundary(g), trace.at(day, slot * m));
+    double acc = 0.0;
+    for (std::size_t i = 0; i < m; ++i) acc += trace.at(day, slot * m + i);
+    EXPECT_DOUBLE_EQ(s.mean(g), acc / static_cast<double>(m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperSlotCounts, SlotSeriesParamTest,
+                         ::testing::Values(288, 96, 72, 48, 24));
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,116 @@
+// Tests for mgmt/storage.hpp.
+#include "mgmt/storage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace shep {
+namespace {
+
+StorageParams Ideal() {
+  StorageParams p;
+  p.capacity_j = 100.0;
+  p.charge_efficiency = 1.0;
+  p.leakage_w = 0.0;
+  return p;
+}
+
+TEST(StorageParams, Validation) {
+  EXPECT_NO_THROW(StorageParams{}.Validate());
+  StorageParams p = Ideal();
+  p.capacity_j = 0.0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = Ideal();
+  p.charge_efficiency = 0.0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = Ideal();
+  p.charge_efficiency = 1.2;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+  p = Ideal();
+  p.leakage_w = -1.0;
+  EXPECT_THROW(p.Validate(), std::invalid_argument);
+}
+
+TEST(EnergyStorage, InitialLevelWithinCapacity) {
+  EnergyStorage s(Ideal(), 40.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 40.0);
+  EXPECT_DOUBLE_EQ(s.fraction(), 0.4);
+  EXPECT_THROW(EnergyStorage(Ideal(), 101.0), std::invalid_argument);
+  EXPECT_THROW(EnergyStorage(Ideal(), -1.0), std::invalid_argument);
+}
+
+TEST(EnergyStorage, ChargeAccumulates) {
+  EnergyStorage s(Ideal(), 10.0);
+  const double overflow = s.Charge(20.0);
+  EXPECT_DOUBLE_EQ(overflow, 0.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 30.0);
+  EXPECT_DOUBLE_EQ(s.total_charged_j(), 20.0);
+}
+
+TEST(EnergyStorage, OverflowWhenFull) {
+  EnergyStorage s(Ideal(), 95.0);
+  const double overflow = s.Charge(20.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 100.0);
+  EXPECT_DOUBLE_EQ(overflow, 15.0);
+  EXPECT_DOUBLE_EQ(s.total_overflow_j(), 15.0);
+}
+
+TEST(EnergyStorage, ChargeEfficiencyReducesStored) {
+  StorageParams p = Ideal();
+  p.charge_efficiency = 0.5;
+  EnergyStorage s(p, 0.0);
+  s.Charge(20.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 10.0);
+}
+
+TEST(EnergyStorage, OverflowReportedInHarvestedJoules) {
+  StorageParams p = Ideal();
+  p.charge_efficiency = 0.5;
+  EnergyStorage s(p, 99.0);  // space for 1 J stored = 2 J harvested
+  const double overflow = s.Charge(10.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 100.0);
+  EXPECT_DOUBLE_EQ(overflow, 8.0);
+}
+
+TEST(EnergyStorage, DischargeDeliversUpToLevel) {
+  EnergyStorage s(Ideal(), 30.0);
+  EXPECT_DOUBLE_EQ(s.Discharge(10.0), 10.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 20.0);
+  // Request beyond level: partial delivery.
+  EXPECT_DOUBLE_EQ(s.Discharge(50.0), 20.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 0.0);
+  EXPECT_DOUBLE_EQ(s.total_delivered_j(), 30.0);
+}
+
+TEST(EnergyStorage, LeakDrainsOverTime) {
+  StorageParams p = Ideal();
+  p.leakage_w = 0.5;
+  EnergyStorage s(p, 10.0);
+  s.Leak(4.0);
+  EXPECT_DOUBLE_EQ(s.level_j(), 8.0);
+  s.Leak(100.0);  // clamps at zero
+  EXPECT_DOUBLE_EQ(s.level_j(), 0.0);
+}
+
+TEST(EnergyStorage, RejectsNegativeAmounts) {
+  EnergyStorage s(Ideal(), 10.0);
+  EXPECT_THROW(s.Charge(-1.0), std::invalid_argument);
+  EXPECT_THROW(s.Discharge(-1.0), std::invalid_argument);
+  EXPECT_THROW(s.Leak(-1.0), std::invalid_argument);
+}
+
+TEST(EnergyStorage, ConservationInvariant) {
+  // level = initial + charged - delivered (ideal store, no leak).
+  EnergyStorage s(Ideal(), 50.0);
+  s.Charge(30.0);
+  s.Discharge(25.0);
+  s.Charge(10.0);
+  s.Discharge(5.0);
+  EXPECT_DOUBLE_EQ(
+      s.level_j(),
+      50.0 + s.total_charged_j() - s.total_delivered_j());
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,58 @@
+// Tests for report/table.hpp.
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shep {
+namespace {
+
+TEST(TableBuilder, RendersAlignedColumns) {
+  TableBuilder t("Demo");
+  t.Columns({"Data Set", "MAPE"});
+  t.AddRow({"SPMD", "15.80%"});
+  t.AddRow({"PFCI", "6.59%"});
+  const auto s = t.ToString();
+  EXPECT_NE(s.find("Demo"), std::string::npos);
+  EXPECT_NE(s.find("| SPMD"), std::string::npos);
+  EXPECT_NE(s.find("15.80%"), std::string::npos);
+  // Header separator lines exist.
+  EXPECT_NE(s.find("+--"), std::string::npos);
+}
+
+TEST(TableBuilder, WidthAdaptsToWidestCell) {
+  TableBuilder t;
+  t.Columns({"A"});
+  t.AddRow({"a-very-long-cell"});
+  const auto s = t.ToString();
+  EXPECT_NE(s.find("| a-very-long-cell |"), std::string::npos);
+}
+
+TEST(TableBuilder, SeparatorRows) {
+  TableBuilder t;
+  t.Columns({"x"});
+  t.AddRow({"1"});
+  t.AddSeparator();
+  t.AddRow({"2"});
+  const auto s = t.ToString();
+  // 5 horizontal rules: top, under header, mid separator, bottom... count.
+  std::size_t rules = 0;
+  for (std::size_t pos = s.find("+-"); pos != std::string::npos;
+       pos = s.find("+-", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+  EXPECT_EQ(t.rows(), 3u);  // 2 data + 1 separator
+}
+
+TEST(TableBuilder, Validation) {
+  TableBuilder t;
+  EXPECT_THROW(t.ToString(), std::invalid_argument);
+  EXPECT_THROW(t.AddRow({"x"}), std::invalid_argument);
+  t.Columns({"a", "b"});
+  EXPECT_THROW(t.AddRow({"only-one"}), std::invalid_argument);
+  t.AddRow({"1", "2"});
+  EXPECT_THROW(t.Columns({"again"}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace shep

@@ -1,0 +1,199 @@
+// Tests for hw/vm.hpp — MicroVm semantics and cycle accounting.
+#include "hw/vm.hpp"
+
+#include <gtest/gtest.h>
+
+namespace shep {
+namespace {
+
+TEST(MicroVm, LoadStoreRoundTrip) {
+  MicroVm vm(8);
+  vm.Poke(2, 42.5);
+  const std::vector<Instr> prog{
+      {Op::kLoad, 0, 2, 0, 0.0},
+      {Op::kStore, 0, 3, 0, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_DOUBLE_EQ(vm.Peek(3), 42.5);
+  EXPECT_EQ(r.instructions, 3u);
+}
+
+TEST(MicroVm, ArithmeticOps) {
+  MicroVm vm(8);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 6.0}, {Op::kLoadImm, 1, 0, 0, 4.0},
+      {Op::kAdd, 2, 0, 1, 0.0},     {Op::kStore, 2, 0, 0, 0.0},
+      {Op::kSub, 2, 0, 1, 0.0},     {Op::kStore, 2, 1, 0, 0.0},
+      {Op::kMul, 2, 0, 1, 0.0},     {Op::kStore, 2, 2, 0, 0.0},
+      {Op::kDiv, 2, 0, 1, 0.0},     {Op::kStore, 2, 3, 0, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_DOUBLE_EQ(vm.Peek(0), 10.0);
+  EXPECT_DOUBLE_EQ(vm.Peek(1), 2.0);
+  EXPECT_DOUBLE_EQ(vm.Peek(2), 24.0);
+  EXPECT_DOUBLE_EQ(vm.Peek(3), 1.5);
+}
+
+TEST(MicroVm, IndexedAddressing) {
+  MicroVm vm(16);
+  for (int i = 0; i < 4; ++i) vm.Poke(4 + static_cast<std::size_t>(i), i * 10.0);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 1, 0, 0, 2.0},   // idx = 2
+      {Op::kLoadIdx, 0, 4, 1, 0.0},   // r0 = mem[4+2] = 20
+      {Op::kStoreIdx, 0, 8, 1, 0.0},  // mem[8+2] = 20
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_DOUBLE_EQ(vm.Peek(10), 20.0);
+}
+
+TEST(MicroVm, BranchesAndLoop) {
+  // Sum 1..5 with a jgt loop.
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 0.0},  // acc
+      {Op::kLoadImm, 1, 0, 0, 5.0},  // i = 5
+      {Op::kLoadImm, 2, 0, 0, 0.0},  // zero
+      {Op::kLoadImm, 3, 0, 0, 1.0},  // one
+      // loop:
+      {Op::kAdd, 0, 0, 1, 0.0},      // acc += i
+      {Op::kSub, 1, 1, 3, 0.0},      // i -= 1
+      {Op::kJgt, 4, 1, 2, 0.0},      // if i > 0 goto loop
+      {Op::kStore, 0, 0, 0, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_DOUBLE_EQ(vm.Peek(0), 15.0);
+}
+
+TEST(MicroVm, JzAndJge) {
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 0.0},
+      {Op::kJz, 4, 0, 0, 0.0},        // taken
+      {Op::kLoadImm, 1, 0, 0, 99.0},  // skipped
+      {Op::kHalt, 0, 0, 0, 0.0},
+      {Op::kLoadImm, 2, 0, 0, 1.0},
+      {Op::kJge, 7, 2, 0, 0.0},       // 1 >= 0 -> taken
+      {Op::kLoadImm, 1, 0, 0, 99.0},  // skipped
+      {Op::kStore, 1, 0, 0, 0.0},     // stores r1 (still 0)
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok) << r.trap;
+  EXPECT_DOUBLE_EQ(vm.Peek(0), 0.0);
+}
+
+TEST(MicroVm, CycleAccountingUsesCosts) {
+  CycleCosts costs;
+  costs.load = 3;
+  costs.store = 4;
+  costs.add = 2;
+  MicroVm vm(4, costs);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 1.0},  // load: 3
+      {Op::kAdd, 0, 0, 0, 0.0},      // add: 2
+      {Op::kStore, 0, 0, 0, 0.0},    // store: 4
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_DOUBLE_EQ(r.cycles, 9.0);
+  EXPECT_EQ(r.ops.load, 1u);
+  EXPECT_EQ(r.ops.add, 1u);
+  EXPECT_EQ(r.ops.store, 1u);
+}
+
+TEST(MicroVm, DivisionCostsDominateInMix) {
+  CycleCosts costs;  // defaults: div >> mul
+  MicroVm vm(4, costs);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 6.0},
+      {Op::kLoadImm, 1, 0, 0, 3.0},
+      {Op::kDiv, 2, 0, 1, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.cycles, costs.div);
+  EXPECT_LT(r.cycles, costs.div + 10.0);
+}
+
+TEST(MicroVm, TrapsOnDivideByZero) {
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 0, 0, 0, 1.0},
+      {Op::kLoadImm, 1, 0, 0, 0.0},
+      {Op::kDiv, 2, 0, 1, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("division by zero"), std::string::npos);
+}
+
+TEST(MicroVm, TrapsOnOutOfRangeMemory) {
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kLoad, 0, 99, 0, 0.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("out of range"), std::string::npos);
+}
+
+TEST(MicroVm, TrapsOnBadRegister) {
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kLoadImm, 77, 0, 0, 1.0},
+      {Op::kHalt, 0, 0, 0, 0.0},
+  };
+  const auto r = vm.Run(prog);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("bad register"), std::string::npos);
+}
+
+TEST(MicroVm, TrapsOnRunawayProgram) {
+  MicroVm vm(4);
+  const std::vector<Instr> prog{
+      {Op::kJmp, 0, 0, 0, 0.0},  // infinite loop
+  };
+  const auto r = vm.Run(prog, 1000);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.trap.find("max steps"), std::string::npos);
+  EXPECT_EQ(r.instructions, 1000u);
+}
+
+TEST(MicroVm, EmptyProgramIsATrap) {
+  MicroVm vm(4);
+  const auto r = vm.Run({});
+  EXPECT_FALSE(r.ok);
+}
+
+TEST(MicroVm, PokePeekValidation) {
+  MicroVm vm(4);
+  EXPECT_THROW(vm.Poke(4, 1.0), std::invalid_argument);
+  EXPECT_THROW(vm.Peek(4), std::invalid_argument);
+  EXPECT_THROW(MicroVm(0), std::invalid_argument);
+}
+
+TEST(ToStringInstr, RendersAllOpcodes) {
+  EXPECT_NE(ToString({Op::kLoadImm, 1, 0, 0, 2.5}).find("loadi"),
+            std::string::npos);
+  EXPECT_NE(ToString({Op::kDiv, 1, 2, 3, 0.0}).find("div"),
+            std::string::npos);
+  EXPECT_NE(ToString({Op::kJgt, 5, 1, 2, 0.0}).find("jgt"),
+            std::string::npos);
+  EXPECT_NE(ToString({Op::kHalt, 0, 0, 0, 0.0}).find("halt"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace shep
