@@ -1,0 +1,16 @@
+// constants.hpp — numeric constants shared across predictor implementations.
+#pragma once
+
+namespace shep {
+
+/// Below this power (1 mW) a slot's historical average is treated as
+/// "night"/twilight noise: the brightness ratio η = sample/μ is
+/// ill-conditioned there and is replaced by the neutral 1.  The
+/// double-precision predictor (core/wcma.cpp, core/ar.cpp,
+/// core/adaptive.cpp), the Q16.16 fixed-point build (core/wcma_fixed.cpp),
+/// the MicroVm routine (hw/predictor_program.cpp), and the sweep evaluator
+/// (sweep/evaluator.cpp) must all use this single definition so the
+/// implementations cannot silently drift apart.
+inline constexpr double kNightEpsilonW = 1e-3;
+
+}  // namespace shep

@@ -5,14 +5,9 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/constants.hpp"
 
 namespace shep {
-
-namespace {
-/// Same guard as core/wcma.cpp: references below 1 mW neither feed η nor
-/// score candidates (relative error against twilight noise is meaningless).
-constexpr double kNightEpsilonW = 1e-3;
-}  // namespace
 
 void AdaptiveWcmaParams::Validate() const {
   SHEP_REQUIRE(!alphas.empty() && !ks.empty(),

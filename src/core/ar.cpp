@@ -4,13 +4,12 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/constants.hpp"
 #include "common/mathutil.hpp"
 
 namespace shep {
 
 namespace {
-/// Night guard shared with the other predictors (1 mW).
-constexpr double kNightEpsilonW = 1e-3;
 /// Ratios are clamped into a sane band before entering the regression so
 /// a single dawn outlier cannot destabilise the covariance.
 constexpr double kMaxRatio = 5.0;

@@ -3,16 +3,9 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/constants.hpp"
 
 namespace shep {
-
-namespace {
-/// Below this power (1 mW) a historical slot average is treated as
-/// "night"/twilight noise; the brightness ratio η is ill-conditioned there
-/// and replaced by the neutral 1.  The fixed-point build and the sweep
-/// evaluator use the same threshold so all three implementations agree.
-constexpr double kNightEpsilonW = 1e-3;
-}  // namespace
 
 void WcmaParams::Validate() const {
   SHEP_REQUIRE(alpha >= 0.0 && alpha <= 1.0, "alpha must be in [0,1]");

@@ -3,14 +3,15 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "common/constants.hpp"
 
 namespace shep {
 
 namespace {
-/// μ below 1 mW is treated as night (η undefined -> neutral 1), mirroring
-/// the double implementation's guard at a threshold representable after
-/// input scaling (1 mW × 256 = 0.256 in Q16.16).
-const Fx kNightEpsilon = Fx::FromDouble(1e-3 * FixedWcma::kInputScale);
+/// μ below kNightEpsilonW is treated as night (η undefined -> neutral 1),
+/// mirroring the double implementation's guard at a threshold representable
+/// after input scaling (1 mW × 256 = 0.256 in Q16.16).
+const Fx kNightEpsilon = Fx::FromDouble(kNightEpsilonW * FixedWcma::kInputScale);
 }  // namespace
 
 FixedWcma::FixedWcma(const WcmaParams& params, int slots_per_day)

@@ -89,7 +89,7 @@ WcmaVmRun RunWcmaOnVm(const WcmaProgramLayout& layout,
   MicroVm vm(layout.memory_words(), costs);
   vm.Poke(WcmaProgramLayout::kAddrSample, inputs.sample);
   vm.Poke(WcmaProgramLayout::kAddrMuNext, inputs.mu_next);
-  vm.Poke(WcmaProgramLayout::kAddrEpsilon, 1e-3);
+  vm.Poke(WcmaProgramLayout::kAddrEpsilon, kNightEpsilonW);
   for (std::size_t i = 0; i < k; ++i) {
     vm.Poke(WcmaProgramLayout::kAddrRecentBase + i, inputs.recent_samples[i]);
     vm.Poke(layout.recent_mu_base() + i, inputs.recent_mus[i]);

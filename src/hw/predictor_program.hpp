@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/constants.hpp"
 #include "hw/vm.hpp"
 
 namespace shep {
@@ -68,6 +69,6 @@ WcmaVmRun RunWcmaOnVm(const WcmaProgramLayout& layout,
 /// VM tests.  The default night guard matches core/wcma.cpp (1 mW).
 double ReferenceWcmaPrediction(const WcmaProgramLayout& layout,
                                const WcmaVmInputs& inputs,
-                               double night_epsilon = 1e-3);
+                               double night_epsilon = kNightEpsilonW);
 
 }  // namespace shep

@@ -4,15 +4,10 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "common/constants.hpp"
 #include "common/mathutil.hpp"
 
 namespace shep {
-
-namespace {
-/// Same night guard as core/wcma.cpp: below 1 mW a historical average is
-/// "night" and the η ratio is neutral.
-constexpr double kNightEpsilonW = 1e-3;
-}  // namespace
 
 SweepContext::SweepContext(const PowerTrace& trace, int slots_per_day)
     : dataset_(trace.name()), series_(trace, slots_per_day) {
