@@ -1,0 +1,112 @@
+// bench_fleet — fleet-runner throughput, emitted as timing JSON.
+//
+// Runs the same scenario serially and on a full thread pool and reports
+// wall times, node throughput, and the parallel speedup as a single JSON
+// object on stdout, so CI can archive the file (BENCH_fleet.json) and the
+// perf trajectory of the batch layer is tracked across PRs.  A standalone
+// main rather than a google-benchmark binary: the measured region is
+// seconds long, needs no statistical replication framework, and this way
+// the target exists even where google-benchmark is not installed.
+//
+// Usage: bench_fleet [--fast]     (--fast shrinks the fleet for CI)
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/threadpool.hpp"
+#include "fleet/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace shep;
+
+  const bool fast =
+      argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+
+  ScenarioSpec spec;
+  spec.name = fast ? "bench_fleet_fast" : "bench_fleet";
+  spec.sites = {"ORNL", "ECSU", "PFCI"};
+  PredictorSpec wcma;
+  wcma.kind = PredictorKind::kWcma;
+  wcma.wcma.alpha = 0.7;
+  wcma.wcma.days = 10;
+  wcma.wcma.slots_k = 2;
+  PredictorSpec ewma;
+  ewma.kind = PredictorKind::kEwma;
+  PredictorSpec persistence;
+  persistence.kind = PredictorKind::kPersistence;
+  spec.predictors = {wcma, ewma, persistence};
+  spec.storage_tiers_j = {1200.0, 4000.0, 12000.0};
+  spec.nodes_per_cell = fast ? 8 : 40;
+  spec.days = fast ? 45 : 120;
+  spec.slots_per_day = 48;
+  spec.node.duty.active_power_w = 0.40;
+  spec.node.warmup_days = 20;
+
+  FleetRunInfo serial_info;
+  const FleetSummary serial = RunFleet(spec, {}, &serial_info);
+
+  ThreadPool pool;
+  FleetRunOptions parallel_options;
+  parallel_options.pool = &pool;
+  FleetRunInfo parallel_info;
+  const FleetSummary parallel = RunFleet(spec, parallel_options,
+                                         &parallel_info);
+
+  // The two runs must agree bit-for-bit (the runner's core invariant);
+  // refuse to report timings for a broken build.  Compare the raw summary
+  // fields exactly — a rendered-CSV comparison would hide sub-rounding
+  // divergence.
+  auto moments_equal = [](const StreamingMoments& a,
+                          const StreamingMoments& b) {
+    return a.count == b.count && a.mean == b.mean && a.m2 == b.m2 &&
+           a.min == b.min && a.max == b.max;
+  };
+  bool identical = serial.stats.size() == parallel.stats.size();
+  for (std::size_t i = 0; identical && i < serial.stats.size(); ++i) {
+    const CellAccumulator& a = serial.stats[i];
+    const CellAccumulator& b = parallel.stats[i];
+    identical = moments_equal(a.violation_rate, b.violation_rate) &&
+                moments_equal(a.mean_duty, b.mean_duty) &&
+                moments_equal(a.wasted_fraction, b.wasted_fraction) &&
+                moments_equal(a.mape, b.mape) &&
+                a.violation_hist.bins() == b.violation_hist.bins() &&
+                a.violations == b.violations &&
+                a.scored_slots == b.scored_slots;
+  }
+  if (!identical) {
+    std::cerr << "FATAL: serial and parallel summaries diverge\n";
+    return 1;
+  }
+
+  const double serial_s = serial_info.synth_seconds + serial_info.sim_seconds;
+  const double parallel_s =
+      parallel_info.synth_seconds + parallel_info.sim_seconds;
+  const auto nodes = static_cast<double>(serial.node_count);
+  std::cout.precision(6);
+  std::cout << "{\n"
+            << "  \"bench\": \"fleet\",\n"
+            << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n"
+            << "  \"nodes\": " << serial.node_count << ",\n"
+            << "  \"cells\": " << serial.cells.size() << ",\n"
+            << "  \"days\": " << spec.days << ",\n"
+            << "  \"unique_traces\": " << parallel_info.unique_traces << ",\n"
+            << "  \"shards\": " << parallel_info.shards << ",\n"
+            << "  \"threads\": " << parallel_info.threads << ",\n"
+            << "  \"serial_seconds\": " << serial_s << ",\n"
+            << "  \"serial_synth_seconds\": " << serial_info.synth_seconds
+            << ",\n"
+            << "  \"serial_sim_seconds\": " << serial_info.sim_seconds
+            << ",\n"
+            << "  \"parallel_seconds\": " << parallel_s << ",\n"
+            << "  \"parallel_synth_seconds\": " << parallel_info.synth_seconds
+            << ",\n"
+            << "  \"parallel_sim_seconds\": " << parallel_info.sim_seconds
+            << ",\n"
+            << "  \"speedup\": " << (parallel_s > 0.0 ? serial_s / parallel_s
+                                                      : 0.0)
+            << ",\n"
+            << "  \"nodes_per_second\": "
+            << (parallel_s > 0.0 ? nodes / parallel_s : 0.0) << "\n"
+            << "}\n";
+  return 0;
+}

@@ -1,4 +1,4 @@
-#include "sweep/threadpool.hpp"
+#include "common/threadpool.hpp"
 
 #include <atomic>
 

@@ -1,9 +1,10 @@
-// threadpool.hpp — minimal work-stealing-free thread pool for sweeps.
+// threadpool.hpp — minimal work-stealing-free thread pool.
 //
-// The exhaustive design exploration of the paper (Sec. IV) evaluates tens of
-// thousands of (α, D, K, N) configurations per data set.  Configurations are
-// independent, so a fixed pool plus a shared atomic index is all the
-// scheduling we need; no external dependency is warranted.
+// Shared by every batch layer: the exhaustive (α, D, K, N) sweeps of the
+// paper's Sec. IV (src/sweep) and the fleet-scale scenario runner
+// (src/fleet) both evaluate thousands of independent work items, so a fixed
+// pool plus a shared atomic index is all the scheduling we need; no
+// external dependency is warranted.
 #pragma once
 
 #include <condition_variable>

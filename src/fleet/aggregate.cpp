@@ -1,0 +1,175 @@
+#include "fleet/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/strings.hpp"
+#include "report/table.hpp"
+
+namespace shep {
+
+void StreamingMoments::Add(double x) {
+  if (count == 0) {
+    min = x;
+    max = x;
+  } else {
+    min = std::min(min, x);
+    max = std::max(max, x);
+  }
+  ++count;
+  const double delta = x - mean;
+  mean += delta / static_cast<double>(count);
+  m2 += delta * (x - mean);
+}
+
+void StreamingMoments::Merge(const StreamingMoments& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al.: combine two partial (count, mean, M2) triples exactly as
+  // if the points had been seen in one pass.
+  const double na = static_cast<double>(count);
+  const double nb = static_cast<double>(other.count);
+  const double delta = other.mean - mean;
+  const double n = na + nb;
+  mean += delta * nb / n;
+  m2 += other.m2 + delta * delta * na * nb / n;
+  count += other.count;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+double StreamingMoments::variance() const {
+  if (count < 2) return 0.0;
+  return std::max(0.0, m2 / static_cast<double>(count));
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+FixedHistogram::FixedHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), bins_(bins, 0) {
+  SHEP_REQUIRE(hi > lo, "histogram range must be non-empty");
+  SHEP_REQUIRE(bins >= 1, "histogram needs at least one bin");
+}
+
+void FixedHistogram::Add(double x) {
+  const double t = (x - lo_) / (hi_ - lo_);
+  const auto last = static_cast<double>(bins_.size() - 1);
+  const double raw = std::clamp(t * static_cast<double>(bins_.size()), 0.0,
+                                last);
+  ++bins_[static_cast<std::size_t>(raw)];
+  ++total_;
+}
+
+void FixedHistogram::Merge(const FixedHistogram& other) {
+  SHEP_REQUIRE(bins_.size() == other.bins_.size() && lo_ == other.lo_ &&
+                   hi_ == other.hi_,
+               "histograms must share geometry to merge");
+  for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
+  total_ += other.total_;
+}
+
+double FixedHistogram::Quantile(double q) const {
+  SHEP_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  SHEP_CHECK(total_ > 0, "quantile of an empty histogram");
+  const double target = q * static_cast<double>(total_);
+  std::uint64_t seen = 0;
+  const double width = (hi_ - lo_) / static_cast<double>(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto next = static_cast<double>(seen + bins_[i]);
+    if (next >= target) {
+      // Interpolate inside the bin by the fraction of its mass consumed.
+      const double inside =
+          (target - static_cast<double>(seen)) / static_cast<double>(bins_[i]);
+      return lo_ + (static_cast<double>(i) + std::clamp(inside, 0.0, 1.0)) *
+                       width;
+    }
+    seen += bins_[i];
+  }
+  return hi_;
+}
+
+CellAccumulator::CellAccumulator() : violation_hist(0.0, 1.0, 256) {}
+
+void CellAccumulator::Add(const NodeSimResult& result) {
+  violation_rate.Add(result.violation_rate);
+  mean_duty.Add(result.mean_duty);
+  wasted_fraction.Add(
+      result.harvested_j > 0.0 ? result.overflow_j / result.harvested_j : 0.0);
+  // A node with no in-ROI slots has no measured accuracy; averaging its 0.0
+  // placeholder would fake a perfect MAPE, so such nodes are left out (the
+  // mape moments keep their own count).
+  if (result.mape_points > 0) mape.Add(result.mape);
+  violation_hist.Add(result.violation_rate);
+  violations += result.violations;
+  scored_slots += result.slots;
+}
+
+void CellAccumulator::Merge(const CellAccumulator& other) {
+  violation_rate.Merge(other.violation_rate);
+  mean_duty.Merge(other.mean_duty);
+  wasted_fraction.Merge(other.wasted_fraction);
+  mape.Merge(other.mape);
+  violation_hist.Merge(other.violation_hist);
+  violations += other.violations;
+  scored_slots += other.scored_slots;
+}
+
+namespace {
+
+/// Builds the per-cell table once; ToTable/ToCsv differ only in rendering
+/// and number formatting (percentages for eyeballs, raw ratios for CSV).
+TableBuilder BuildSummaryTable(const FleetSummary& summary, bool csv) {
+  auto fmt = [&](double v) {
+    return csv ? FormatFixed(v, 6) : FormatPercent(v);
+  };
+  // Histogram quantiles interpolate inside a bin, so a cell whose nodes all
+  // share one value could report p50 slightly past the observed extrema;
+  // clamp to the true range tracked by the moments.
+  auto quantile = [](const CellAccumulator& s, double q) {
+    return std::clamp(s.violation_hist.Quantile(q), s.violation_rate.min,
+                      s.violation_rate.max);
+  };
+  TableBuilder table(csv ? ""
+                         : summary.scenario_name + ": " +
+                               std::to_string(summary.node_count) +
+                               " nodes, " + std::to_string(summary.days) +
+                               " days, N=" +
+                               std::to_string(summary.slots_per_day));
+  table.Columns({"site", "predictor", "storage_j", "nodes", "viol_mean",
+                 "viol_p50", "viol_p95", "viol_max", "mean_duty",
+                 "wasted_harvest", "mape"});
+  std::size_t last_site = 0;
+  for (std::size_t i = 0; i < summary.cells.size(); ++i) {
+    const ScenarioCell& cell = summary.cells[i];
+    const CellAccumulator& s = summary.stats[i];
+    if (!csv && i > 0 && cell.site_index != last_site) table.AddSeparator();
+    last_site = cell.site_index;
+    table.AddRow({cell.site_code, cell.predictor_label,
+                  FormatFixed(cell.storage_j, 0), std::to_string(s.nodes()),
+                  fmt(s.violation_rate.mean), fmt(quantile(s, 0.50)),
+                  fmt(quantile(s, 0.95)),
+                  fmt(s.violation_rate.max), fmt(s.mean_duty.mean),
+                  fmt(s.wasted_fraction.mean),
+                  // No node of the cell had an in-ROI slot: accuracy was
+                  // not measured, which is not the same as perfect.
+                  s.mape.valid() ? fmt(s.mape.mean) : std::string("n/a")});
+  }
+  return table;
+}
+
+}  // namespace
+
+std::string FleetSummary::ToTable() const {
+  return BuildSummaryTable(*this, /*csv=*/false).ToString();
+}
+
+std::string FleetSummary::ToCsv() const {
+  return BuildSummaryTable(*this, /*csv=*/true).ToCsv();
+}
+
+}  // namespace shep

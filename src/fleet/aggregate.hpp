@@ -1,0 +1,106 @@
+// aggregate.hpp — streaming, mergeable summary statistics for fleet runs.
+//
+// A fleet run produces one NodeSimResult per node; keeping them all would
+// bound the fleet size by memory, so each scenario cell is reduced on the
+// fly into a CellAccumulator built from two single-pass primitives:
+//
+//  * StreamingMoments — count/mean/M2/min/max via Welford's update, merged
+//    across shards with Chan et al.'s parallel combination;
+//  * FixedHistogram   — fixed-range bin counts (violation rate lives in
+//    [0, 1]) from which p50/p95 are interpolated.
+//
+// Both are MERGEABLE: shards accumulate privately with no locking and the
+// runner folds the shard accumulators afterwards in shard order, which is
+// what makes the summary bit-identical at any thread count (the fold order
+// never depends on scheduling).  Merge is exactly associative on every
+// integer field; on the floating-point fields it is associative up to
+// rounding, which tests/test_fleet.cpp pins down.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/scenario.hpp"
+#include "mgmt/node_sim.hpp"
+
+namespace shep {
+
+/// Single-pass count/mean/variance/extrema accumulator (Welford).
+struct StreamingMoments {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double m2 = 0.0;  ///< sum of squared deviations from the running mean.
+  double min = 0.0;
+  double max = 0.0;
+
+  void Add(double x);
+  void Merge(const StreamingMoments& other);
+
+  bool valid() const { return count > 0; }
+  double variance() const;  ///< population variance; 0 when count < 2.
+  double stddev() const;
+};
+
+/// Fixed-range histogram with uniform bins; out-of-range values clamp to
+/// the edge bins.  Mergeable by bin-wise addition.
+class FixedHistogram {
+ public:
+  FixedHistogram(double lo, double hi, std::size_t bins);
+
+  void Add(double x);
+  void Merge(const FixedHistogram& other);
+
+  std::uint64_t total() const { return total_; }
+  const std::vector<std::uint64_t>& bins() const { return bins_; }
+
+  /// Quantile q in [0, 1], linearly interpolated inside the holding bin.
+  /// Requires total() > 0.
+  double Quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Everything a scenario cell reports, reduced over its nodes.
+struct CellAccumulator {
+  CellAccumulator();
+
+  StreamingMoments violation_rate;   ///< per-node brown-out rate.
+  StreamingMoments mean_duty;        ///< per-node achieved duty cycle.
+  StreamingMoments wasted_fraction;  ///< per-node overflow_j / harvested_j.
+  StreamingMoments mape;             ///< per-node prediction MAPE.
+  FixedHistogram violation_hist;     ///< violation-rate distribution.
+  std::uint64_t violations = 0;      ///< summed brown-out slots.
+  std::uint64_t scored_slots = 0;    ///< summed post-warm-up slots.
+
+  void Add(const NodeSimResult& result);
+  void Merge(const CellAccumulator& other);
+
+  std::size_t nodes() const { return violation_rate.count; }
+};
+
+/// The deterministic output of a fleet run: the expanded cells plus one
+/// accumulator per cell (parallel vectors).  Runtime metadata (threads,
+/// wall time) deliberately lives elsewhere (FleetRunInfo) so this value is
+/// comparable across runs.
+struct FleetSummary {
+  std::string scenario_name;
+  std::size_t node_count = 0;
+  std::size_t days = 0;
+  int slots_per_day = 0;
+  std::vector<ScenarioCell> cells;
+  std::vector<CellAccumulator> stats;
+
+  /// Aligned text table (report/table layer), one row per cell.
+  std::string ToTable() const;
+
+  /// CSV with the same rows in machine-readable form.
+  std::string ToCsv() const;
+};
+
+}  // namespace shep

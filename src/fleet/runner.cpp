@@ -1,0 +1,121 @@
+#include "fleet/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+#include "mgmt/node_sim.hpp"
+#include "solar/sites.hpp"
+#include "solar/synth.hpp"
+#include "timeseries/slotting.hpp"
+
+namespace shep {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
+                      FleetRunInfo* info) {
+  SHEP_REQUIRE(options.shard_size >= 1, "shard_size must be >= 1");
+  const ScenarioMatrix matrix = ExpandScenario(spec);
+  const ScenarioSpec& s = matrix.spec;  // slot_seconds already forced.
+
+  // ---- Phase 1: synthesize the distinct weather replicas. -----------------
+  // Trace lane t = site_index * nodes_per_cell + replica; every node maps
+  // onto its lane through its cell's site, so all predictor/storage cells
+  // of a site share traces (paired comparison) and the synthesis cost is
+  // sites × replicas, not cells × replicas.
+  const std::size_t trace_count = s.sites.size() * s.nodes_per_cell;
+  std::vector<std::uint64_t> trace_seed(trace_count, 0);
+  for (const FleetNodeConfig& node : matrix.nodes) {
+    const std::size_t lane =
+        matrix.cells[node.cell].site_index * s.nodes_per_cell + node.replica;
+    trace_seed[lane] = node.trace_seed;
+  }
+
+  auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::unique_ptr<const SlotSeries>> series(trace_count);
+  ParallelFor(options.pool, trace_count, [&](std::size_t t) {
+    const SiteProfile& site = SiteByCode(s.sites[t / s.nodes_per_cell]);
+    SynthOptions synth;
+    synth.days = s.days;
+    synth.seed_offset = trace_seed[t];
+    series[t] = std::make_unique<const SlotSeries>(
+        SynthesizeTrace(site, synth), s.slots_per_day);
+  });
+  const double synth_seconds = SecondsSince(t0);
+
+  // ---- Phase 2: sharded node simulation. ----------------------------------
+  // Shard boundaries are a pure function of (node count, shard_size); the
+  // pool only decides which thread runs which shard.  Nodes are cell-major,
+  // so a shard's accumulators form a short run of consecutive cells.
+  const std::size_t node_count = matrix.nodes.size();
+  const std::size_t shard_count =
+      (node_count + options.shard_size - 1) / options.shard_size;
+  std::vector<std::vector<std::pair<std::size_t, CellAccumulator>>>
+      shard_stats(shard_count);
+
+  t0 = std::chrono::steady_clock::now();
+  ParallelFor(options.pool, shard_count, [&](std::size_t shard) {
+    auto& local = shard_stats[shard];
+    const std::size_t begin = shard * options.shard_size;
+    const std::size_t end = std::min(begin + options.shard_size, node_count);
+    for (std::size_t i = begin; i < end; ++i) {
+      const FleetNodeConfig& node = matrix.nodes[i];
+      const ScenarioCell& cell = matrix.cells[node.cell];
+      const std::size_t lane =
+          cell.site_index * s.nodes_per_cell + node.replica;
+
+      NodeSimConfig config = s.node;
+      config.storage.capacity_j = cell.storage_j;
+      config.initial_level_fraction = node.initial_level_fraction;
+
+      const auto predictor =
+          s.predictors[cell.predictor_index].Make(s.slots_per_day);
+      const NodeSimResult result =
+          SimulateNode(*predictor, *series[lane], config);
+
+      if (local.empty() || local.back().first != node.cell) {
+        local.emplace_back(node.cell, CellAccumulator{});
+      }
+      local.back().second.Add(result);
+    }
+  });
+
+  // Merge in shard order: the fold sequence is scheduling-independent, so
+  // the summary is bit-identical at any thread count.
+  FleetSummary summary;
+  summary.scenario_name = s.name;
+  summary.node_count = node_count;
+  summary.days = s.days;
+  summary.slots_per_day = s.slots_per_day;
+  summary.cells = matrix.cells;
+  summary.stats.assign(matrix.cells.size(), CellAccumulator{});
+  for (const auto& shard : shard_stats) {
+    for (const auto& [cell, acc] : shard) {
+      summary.stats[cell].Merge(acc);
+    }
+  }
+  const double sim_seconds = SecondsSince(t0);
+
+  if (info != nullptr) {
+    info->threads = options.pool != nullptr ? options.pool->thread_count() : 1;
+    info->shards = shard_count;
+    info->unique_traces = trace_count;
+    info->synth_seconds = synth_seconds;
+    info->sim_seconds = sim_seconds;
+  }
+  return summary;
+}
+
+}  // namespace shep

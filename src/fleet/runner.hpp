@@ -1,0 +1,55 @@
+// runner.hpp — sharded batch execution of a fleet scenario.
+//
+// RunFleet expands a ScenarioSpec and simulates every node of the matrix in
+// two parallel phases:
+//
+//  1. trace synthesis — the distinct weather replicas (one per
+//     site × replica lane, shared by all predictor/storage cells of the
+//     site) are synthesized and slotted once each;
+//  2. node simulation — nodes are partitioned into fixed-size shards; each
+//     shard runs its nodes' full SimulateNode loops and reduces them into
+//     private per-cell accumulators with no locking or sharing on the hot
+//     path.  The only synchronization is the ParallelFor join.
+//
+// After the join the shard accumulators are merged in shard order.  Shard
+// boundaries depend only on (node count, shard_size) — never on which
+// thread ran a shard — so the resulting FleetSummary is bit-identical for
+// any thread count, including fully serial execution.  That invariant is
+// what tests/test_fleet.cpp pins and what lets future distributed runs
+// (shards on different machines) reproduce single-machine results.
+#pragma once
+
+#include <cstddef>
+
+#include "common/threadpool.hpp"
+#include "fleet/aggregate.hpp"
+#include "fleet/scenario.hpp"
+
+namespace shep {
+
+/// Execution knobs; none of them may change the summary, only its speed.
+struct FleetRunOptions {
+  /// Pool to run on; null executes serially on the calling thread.
+  ThreadPool* pool = nullptr;
+  /// Nodes per shard.  Small shards balance better, large shards amortize
+  /// accumulator setup; the summary is identical either way as long as the
+  /// value itself is held fixed.
+  std::size_t shard_size = 8;
+};
+
+/// Runtime metadata of one run; kept out of FleetSummary so summaries stay
+/// comparable across machines and thread counts.
+struct FleetRunInfo {
+  std::size_t threads = 1;
+  std::size_t shards = 0;
+  std::size_t unique_traces = 0;
+  double synth_seconds = 0.0;  ///< phase 1 wall time.
+  double sim_seconds = 0.0;    ///< phase 2 wall time (including merge).
+};
+
+/// Expands and executes `spec`.  Deterministic in (spec, shard_size).
+FleetSummary RunFleet(const ScenarioSpec& spec,
+                      const FleetRunOptions& options = {},
+                      FleetRunInfo* info = nullptr);
+
+}  // namespace shep

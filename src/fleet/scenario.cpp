@@ -1,0 +1,156 @@
+#include "fleet/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "core/baselines.hpp"
+#include "core/ewma.hpp"
+#include "solar/sites.hpp"
+#include "timeseries/trace.hpp"
+
+namespace shep {
+
+const char* PredictorKindName(PredictorKind kind) {
+  switch (kind) {
+    case PredictorKind::kWcma:         return "WCMA";
+    case PredictorKind::kEwma:         return "EWMA";
+    case PredictorKind::kAr:           return "AR";
+    case PredictorKind::kAdaptiveWcma: return "AdaptiveWCMA";
+    case PredictorKind::kPersistence:  return "Persistence";
+    case PredictorKind::kPreviousDay:  return "PreviousDay";
+  }
+  SHEP_REQUIRE(false, "unknown predictor kind");
+  throw std::logic_error("unreachable");
+}
+
+std::unique_ptr<Predictor> PredictorSpec::Make(int slots_per_day) const {
+  switch (kind) {
+    case PredictorKind::kWcma:
+      return std::make_unique<Wcma>(wcma, slots_per_day);
+    case PredictorKind::kEwma:
+      return std::make_unique<Ewma>(ewma_weight, slots_per_day);
+    case PredictorKind::kAr:
+      return std::make_unique<ArPredictor>(ar, slots_per_day);
+    case PredictorKind::kAdaptiveWcma:
+      return std::make_unique<AdaptiveWcma>(adaptive, slots_per_day);
+    case PredictorKind::kPersistence:
+      return std::make_unique<Persistence>();
+    case PredictorKind::kPreviousDay:
+      return std::make_unique<PreviousDay>(slots_per_day);
+  }
+  SHEP_REQUIRE(false, "unknown predictor kind");
+  throw std::logic_error("unreachable");
+}
+
+void ScenarioSpec::Validate() const {
+  // Validation must be exhaustive: the runner executes node simulations on
+  // pool workers, where a late throw cannot be caught (std::terminate), so
+  // every way a spec could fail downstream is rejected here, up front.
+  SHEP_REQUIRE(!sites.empty(), "scenario needs at least one site");
+  SHEP_REQUIRE(slots_per_day > 0 && kSecondsPerDay % slots_per_day == 0,
+               "slots_per_day must divide the day");
+  const int slot_seconds = kSecondsPerDay / slots_per_day;
+  for (const auto& code : sites) {
+    const SiteProfile& site = SiteByCode(code);  // throws on unknown code.
+    SHEP_REQUIRE(slot_seconds % site.resolution_s == 0,
+                 "slot length must be a multiple of the site's recording "
+                 "resolution: " + code);
+  }
+  SHEP_REQUIRE(!predictors.empty(), "scenario needs at least one predictor");
+  SHEP_REQUIRE(!storage_tiers_j.empty(),
+               "scenario needs at least one storage tier");
+  for (double s : storage_tiers_j) {
+    SHEP_REQUIRE(s > 0.0, "storage tiers must be positive");
+  }
+  SHEP_REQUIRE(nodes_per_cell >= 1, "nodes_per_cell must be >= 1");
+  // The sim loop drops the final boundary slot, so one post-warm-up slot is
+  // not enough: (days - warmup) * N - 1 scored slots must be >= 1.
+  SHEP_REQUIRE(days > node.warmup_days &&
+                   (days - node.warmup_days) *
+                           static_cast<std::size_t>(slots_per_day) >= 2,
+               "horizon must leave at least one scored slot past the warm-up");
+  SHEP_REQUIRE(initial_level_jitter >= 0.0 && initial_level_jitter <= 0.5,
+               "initial_level_jitter must be in [0, 0.5]");
+  node.duty.Validate();
+  node.storage.Validate();
+  SHEP_REQUIRE(node.initial_level_fraction >= 0.0 &&
+                   node.initial_level_fraction <= 1.0,
+               "initial level must be a fraction");
+}
+
+std::uint64_t DeriveSeed(std::uint64_t root, std::uint64_t a,
+                         std::uint64_t b) {
+  // Fold the lane indices into a splitmix64 stream: each fold xors a lane
+  // into the MIXED output of the previous round (not the raw counter), so
+  // every lane is fully diffused before the next enters.  The +1 offsets
+  // keep lane 0 from degenerating into the raw root.
+  std::uint64_t state = root;
+  state = SplitMix64(state) ^ ((a + 1) * 0x9E3779B97F4A7C15ull);
+  state = SplitMix64(state) ^ ((b + 1) * 0x94D049BB133111EBull);
+  return SplitMix64(state);
+}
+
+ScenarioMatrix ExpandScenario(const ScenarioSpec& spec) {
+  spec.Validate();
+
+  ScenarioMatrix matrix;
+  matrix.spec = spec;
+  matrix.spec.node.duty.slot_seconds =
+      static_cast<double>(kSecondsPerDay / spec.slots_per_day);
+  matrix.cells.reserve(spec.cell_count());
+  matrix.nodes.reserve(spec.node_count());
+
+  // Disambiguate duplicate designs of the same kind so no two cells of a
+  // (site, storage) pair share a label.
+  std::vector<std::string> labels(spec.predictors.size());
+  for (std::size_t i = 0; i < spec.predictors.size(); ++i) {
+    labels[i] = spec.predictors[i].Label();
+    for (std::size_t j = 0; j < i; ++j) {
+      if (spec.predictors[j].kind == spec.predictors[i].kind) {
+        labels[i] = spec.predictors[i].Label() + "#" + std::to_string(i);
+        break;
+      }
+    }
+  }
+
+  for (std::size_t i_s = 0; i_s < spec.sites.size(); ++i_s) {
+    for (std::size_t i_p = 0; i_p < spec.predictors.size(); ++i_p) {
+      for (std::size_t i_t = 0; i_t < spec.storage_tiers_j.size(); ++i_t) {
+        ScenarioCell cell;
+        cell.index = matrix.cells.size();
+        cell.site_index = i_s;
+        cell.predictor_index = i_p;
+        cell.storage_index = i_t;
+        cell.site_code = spec.sites[i_s];
+        cell.predictor_label = labels[i_p];
+        cell.storage_j = spec.storage_tiers_j[i_t];
+
+        for (std::size_t r = 0; r < spec.nodes_per_cell; ++r) {
+          FleetNodeConfig node;
+          node.index = matrix.nodes.size();
+          node.cell = cell.index;
+          node.replica = r;
+          // Weather lane keyed by (site, replica) only: all predictor and
+          // storage cells of a site see identical weather (paired design).
+          node.trace_seed = DeriveSeed(spec.seed, i_s, r);
+          node.node_seed = DeriveSeed(spec.seed, cell.index + 0x10000, r);
+          node.initial_level_fraction = spec.node.initial_level_fraction;
+          if (spec.initial_level_jitter > 0.0) {
+            Rng rng(node.node_seed);
+            node.initial_level_fraction = std::clamp(
+                node.initial_level_fraction +
+                    rng.Uniform(-spec.initial_level_jitter,
+                                spec.initial_level_jitter),
+                0.0, 1.0);
+          }
+          matrix.nodes.push_back(node);
+        }
+        matrix.cells.push_back(cell);
+      }
+    }
+  }
+  return matrix;
+}
+
+}  // namespace shep

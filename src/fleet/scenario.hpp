@@ -1,0 +1,132 @@
+// scenario.hpp — declarative fleet scenarios and their combinatorial
+// expansion.
+//
+// A ScenarioSpec describes a whole deployment campaign in one value: which
+// sites (weather regimes), which predictor designs, which storage tiers,
+// how many replica nodes per combination, and the horizon.  ExpandScenario
+// turns that description into the concrete matrix the runner executes —
+// one ScenarioCell per (site × predictor × storage) combination and one
+// FleetNodeConfig per simulated node, each with seeds derived
+// deterministically from the scenario seed so that the entire fleet is
+// reproducible from a single number.
+//
+// Seeding follows a paired design: the weather replica seed depends only on
+// (site, replica), so every predictor and storage tier inside a site faces
+// the *same* weather draws and cell-to-cell differences measure the design,
+// not sampling noise.  The per-node seed additionally depends on the cell
+// and drives node-local variation (initial storage level jitter), modelling
+// a heterogeneous fleet deployed at different times.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/adaptive.hpp"
+#include "core/ar.hpp"
+#include "core/predictor.hpp"
+#include "core/wcma.hpp"
+#include "mgmt/node_sim.hpp"
+
+namespace shep {
+
+/// Predictor designs a fleet can deploy.
+enum class PredictorKind {
+  kWcma,
+  kEwma,
+  kAr,
+  kAdaptiveWcma,
+  kPersistence,
+  kPreviousDay,
+};
+
+/// Short display name ("WCMA", "EWMA", ...).
+const char* PredictorKindName(PredictorKind kind);
+
+/// One predictor design: a kind plus the parameters that kind reads.
+struct PredictorSpec {
+  PredictorKind kind = PredictorKind::kWcma;
+  WcmaParams wcma;                ///< kWcma.
+  double ewma_weight = 0.5;       ///< kEwma (Kansal et al. default).
+  ArParams ar;                    ///< kAr.
+  AdaptiveWcmaParams adaptive;    ///< kAdaptiveWcma.
+
+  /// Instantiates a fresh predictor for a deployment with N slots per day.
+  std::unique_ptr<Predictor> Make(int slots_per_day) const;
+
+  /// Cell label for reports: the kind name.  When a scenario lists the same
+  /// kind more than once (e.g. two WCMA tunings), ExpandScenario suffixes
+  /// "#<index>" so cells stay distinguishable in tables and CSV.
+  std::string Label() const { return PredictorKindName(kind); }
+};
+
+/// Declarative description of a fleet campaign.
+struct ScenarioSpec {
+  std::string name = "fleet";
+  std::vector<std::string> sites;          ///< paper site codes (solar/sites).
+  std::vector<PredictorSpec> predictors;   ///< designs under comparison.
+  std::vector<double> storage_tiers_j;     ///< storage capacities to cross in.
+  std::size_t nodes_per_cell = 1;          ///< replicas per combination.
+  std::size_t days = 120;                  ///< simulated horizon.
+  int slots_per_day = 48;                  ///< N of the deployment.
+  std::uint64_t seed = 0x5EEDu;            ///< root of every derived stream.
+  /// Base node configuration; storage.capacity_j is overridden per tier and
+  /// duty.slot_seconds is forced to 86400/slots_per_day by ExpandScenario.
+  NodeSimConfig node;
+  /// Half-width of the uniform per-node jitter applied to
+  /// node.initial_level_fraction (clamped to [0, 1]); 0 disables.
+  double initial_level_jitter = 0.0;
+
+  /// Throws std::invalid_argument when the spec cannot be expanded.
+  void Validate() const;
+
+  std::size_t cell_count() const {
+    return sites.size() * predictors.size() * storage_tiers_j.size();
+  }
+  std::size_t node_count() const { return cell_count() * nodes_per_cell; }
+};
+
+/// One (site × predictor × storage) combination of the expanded matrix.
+struct ScenarioCell {
+  std::size_t index = 0;            ///< position in ScenarioMatrix::cells.
+  std::size_t site_index = 0;       ///< into ScenarioSpec::sites.
+  std::size_t predictor_index = 0;  ///< into ScenarioSpec::predictors.
+  std::size_t storage_index = 0;    ///< into ScenarioSpec::storage_tiers_j.
+  std::string site_code;
+  std::string predictor_label;
+  double storage_j = 0.0;
+};
+
+/// One concrete node of the fleet.
+struct FleetNodeConfig {
+  std::size_t index = 0;     ///< global node id (cell-major).
+  std::size_t cell = 0;      ///< owning cell index.
+  std::size_t replica = 0;   ///< replica within the cell.
+  /// Weather stream seed; shared by all cells of the same site so predictor
+  /// and storage comparisons are paired on identical weather.
+  std::uint64_t trace_seed = 0;
+  /// Node-local stream seed; unique per node.
+  std::uint64_t node_seed = 0;
+  /// Initial storage level after the per-node jitter draw.
+  double initial_level_fraction = 0.5;
+};
+
+/// The fully expanded scenario: cells in (site, predictor, storage) order
+/// and nodes cell-major (all replicas of cell 0, then cell 1, ...).
+struct ScenarioMatrix {
+  ScenarioSpec spec;
+  std::vector<ScenarioCell> cells;
+  std::vector<FleetNodeConfig> nodes;
+};
+
+/// Derives an independent 64-bit stream seed from a root seed and two
+/// lane indices; splitmix64-based, stable across platforms and runs.
+std::uint64_t DeriveSeed(std::uint64_t root, std::uint64_t a, std::uint64_t b);
+
+/// Expands the combinatorial matrix.  Deterministic: same spec (including
+/// seed) -> identical matrix.  Throws via Validate() on a malformed spec.
+ScenarioMatrix ExpandScenario(const ScenarioSpec& spec);
+
+}  // namespace shep

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.hpp"
+#include "metrics/error.hpp"
 
 namespace shep {
 
@@ -35,6 +36,12 @@ NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
   double duty_sq_sum = 0.0;
   double overflow_before = 0.0;
   double delivered_before = 0.0;
+  double ape_sum = 0.0;
+  // Same region-of-interest rule as the accuracy evaluation (metrics/error):
+  // only slots whose mean clears 10 % of the series peak are scored, and a
+  // zero reference never enters the percentage (degenerate all-dark trace).
+  const double roi_threshold = RoiFilter{}.threshold_fraction *
+                               series.peak_mean();
 
   for (std::size_t g = 0; g + 1 < series.size(); ++g) {
     // Wake-up at the start of interval g: sample, predict, commit.
@@ -44,6 +51,14 @@ NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
     const double duty = controller.DutyForSlot(
         predicted_j, store.level_j(), config.storage.capacity_j);
 
+    // Snapshot the lifetime counters before the first scored slot happens,
+    // so overflow_j/delivered_j cover exactly the same slots as the other
+    // scored totals (harvest, violations, duty).
+    if (g == warmup_slots) {
+      overflow_before = store.total_overflow_j();
+      delivered_before = store.total_delivered_j();
+    }
+
     // The slot then actually happens.
     const double harvest_j = series.mean(g) * slot_s;
     const double demand_j = controller.ConsumptionJ(duty);
@@ -52,10 +67,6 @@ NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
     store.Leak(slot_s);
     const bool violated = delivered + 1e-12 < demand_j;
 
-    if (g == warmup_slots) {
-      overflow_before = store.total_overflow_j();
-      delivered_before = store.total_delivered_j();
-    }
     if (g < warmup_slots) continue;
 
     ++result.slots;
@@ -65,6 +76,10 @@ NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
     result.harvested_j += harvest_j;
     result.min_level_fraction =
         std::min(result.min_level_fraction, store.fraction());
+    if (series.mean(g) > 0.0 && series.mean(g) >= roi_threshold) {
+      ape_sum += std::fabs(series.mean(g) - predicted_w) / series.mean(g);
+      ++result.mape_points;
+    }
   }
 
   SHEP_CHECK(result.slots > 0, "simulation produced no scored slots");
@@ -76,6 +91,9 @@ NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
   result.duty_stddev = std::sqrt(var);
   result.overflow_j = store.total_overflow_j() - overflow_before;
   result.delivered_j = store.total_delivered_j() - delivered_before;
+  if (result.mape_points > 0) {
+    result.mape = ape_sum / static_cast<double>(result.mape_points);
+  }
   return result;
 }
 

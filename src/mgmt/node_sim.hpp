@@ -26,7 +26,7 @@ struct NodeSimConfig {
   DutyCycleConfig duty;         ///< controller parameters.
   StorageParams storage;        ///< store parameters.
   double initial_level_fraction = 0.5;
-  std::size_t warmup_days = 20; ///< slots before metrics accumulate
+  std::size_t warmup_days = 20; ///< days before metrics accumulate
                                 ///< (mirrors the evaluation protocol).
 };
 
@@ -42,6 +42,12 @@ struct NodeSimResult {
   double delivered_j = 0.0;         ///< energy actually delivered to loads.
   double harvested_j = 0.0;         ///< total harvest offered in ROI.
   double min_level_fraction = 1.0;  ///< storage low-water mark.
+  /// Prediction accuracy alongside the operational outcome: MAPE (Eq. 8) of
+  /// the committed prediction against the slot mean it budgeted (Eq. 7),
+  /// over post-warm-up slots whose mean clears the paper's 10 %-of-peak
+  /// region-of-interest threshold.
+  double mape = 0.0;
+  std::size_t mape_points = 0;      ///< slots entering the MAPE average.
 };
 
 /// Runs `predictor` over `series` through the controller and store.

@@ -72,4 +72,31 @@ std::string TableBuilder::ToString() const {
   return os.str();
 }
 
+std::string TableBuilder::ToCsv() const {
+  SHEP_REQUIRE(!columns_.empty(), "table has no columns");
+  auto escape = [](const std::string& cell) -> std::string {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    out += '"';
+    return out;
+  };
+  std::ostringstream os;
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      os << escape(cells[c]);
+    }
+    os << '\n';
+  };
+  print_row(columns_);
+  for (const auto& row : rows_) {
+    if (!row.separator) print_row(row.cells);
+  }
+  return os.str();
+}
+
 }  // namespace shep

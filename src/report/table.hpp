@@ -28,6 +28,11 @@ class TableBuilder {
   /// Renders the table.
   std::string ToString() const;
 
+  /// Renders the same rows as CSV: one header line then one line per data
+  /// row (separators are skipped).  Cells containing a comma, quote, or
+  /// newline are double-quoted per RFC 4180.
+  std::string ToCsv() const;
+
  private:
   struct Row {
     std::vector<std::string> cells;

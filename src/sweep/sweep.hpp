@@ -16,7 +16,7 @@
 #include "metrics/error.hpp"
 #include "sweep/evaluator.hpp"
 #include "sweep/grid.hpp"
-#include "sweep/threadpool.hpp"
+#include "common/threadpool.hpp"
 
 namespace shep {
 

@@ -1,5 +1,5 @@
-// Tests for sweep/threadpool.hpp.
-#include "sweep/threadpool.hpp"
+// Tests for common/threadpool.hpp.
+#include "common/threadpool.hpp"
 
 #include <gtest/gtest.h>
 
