@@ -30,11 +30,17 @@ int main(int argc, char** argv) {
   wcma.wcma.alpha = 0.7;
   wcma.wcma.days = 10;
   wcma.wcma.slots_k = 2;
+  // The MCU backends keep the interpreted-VM and op-counted hot paths in
+  // the measured mix, so their cost shows up in the perf trajectory too.
+  PredictorSpec wcma_fixed = wcma;
+  wcma_fixed.kind = PredictorKind::kWcmaFixed;
+  PredictorSpec wcma_vm = wcma;
+  wcma_vm.kind = PredictorKind::kWcmaVm;
   PredictorSpec ewma;
   ewma.kind = PredictorKind::kEwma;
   PredictorSpec persistence;
   persistence.kind = PredictorKind::kPersistence;
-  spec.predictors = {wcma, ewma, persistence};
+  spec.predictors = {wcma, wcma_fixed, wcma_vm, ewma, persistence};
   spec.storage_tiers_j = {1200.0, 4000.0, 12000.0};
   spec.nodes_per_cell = fast ? 8 : 40;
   spec.days = fast ? 45 : 120;
@@ -69,7 +75,10 @@ int main(int argc, char** argv) {
                 moments_equal(a.mean_duty, b.mean_duty) &&
                 moments_equal(a.wasted_fraction, b.wasted_fraction) &&
                 moments_equal(a.mape, b.mape) &&
+                moments_equal(a.cycles_per_wakeup, b.cycles_per_wakeup) &&
+                moments_equal(a.ops_per_wakeup, b.ops_per_wakeup) &&
                 a.violation_hist.bins() == b.violation_hist.bins() &&
+                a.cycles_hist.bins() == b.cycles_hist.bins() &&
                 a.violations == b.violations &&
                 a.scored_slots == b.scored_slots;
   }

@@ -1,12 +1,18 @@
 // fleet_demo — a 1000+-node heterogeneous fleet in one deterministic run.
 //
-// Expands a declarative scenario — 3 sites of contrasting climate × 4
-// predictor designs × 3 storage tiers × 28 replica nodes = 1008 nodes —
+// Expands a declarative scenario — 3 sites of contrasting climate × 6
+// predictor designs × 3 storage tiers × 28 replica nodes = 1512 nodes —
 // and executes it through the sharded fleet runner, then prints the
 // per-cell summary as an aligned table and as CSV.  The per-site blocks
 // reproduce the paper's premise at fleet scale: the worse the predictor's
 // MAPE, the more brown-outs and wasted harvest the fleet suffers, and the
 // smaller the storage tier, the steeper that penalty.
+//
+// The WCMA design is deployed on all three arithmetic backends — float
+// reference, Q16.16 fixed point, and the MicroVm-executed routine — so the
+// table shows the paper's whole trade-off in one place: near-identical
+// accuracy columns across the backends, with the MCU-cost columns
+// (cyc_mean/cyc_p95/ops_mean) filled only for the two deployable builds.
 //
 // Usage: fleet_demo [nodes_per_cell] [days]   (defaults 28, 120)
 #include <cstdlib>
@@ -29,13 +35,17 @@ int main(int argc, char** argv) try {
   wcma.wcma.alpha = 0.7;
   wcma.wcma.days = 10;
   wcma.wcma.slots_k = 2;
+  PredictorSpec wcma_fixed = wcma;  // same design, MCU arithmetic backends.
+  wcma_fixed.kind = PredictorKind::kWcmaFixed;
+  PredictorSpec wcma_vm = wcma;
+  wcma_vm.kind = PredictorKind::kWcmaVm;
   PredictorSpec ewma;
   ewma.kind = PredictorKind::kEwma;
   PredictorSpec ar;
   ar.kind = PredictorKind::kAr;
   PredictorSpec persistence;
   persistence.kind = PredictorKind::kPersistence;
-  spec.predictors = {wcma, ewma, ar, persistence};
+  spec.predictors = {wcma, wcma_fixed, wcma_vm, ewma, ar, persistence};
 
   // Under one night's reserve / a few hours / half a day of buffer.
   spec.storage_tiers_j = {1200.0, 4000.0, 12000.0};

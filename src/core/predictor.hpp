@@ -13,6 +13,7 @@
 // e̅(g) of the interval it budgets (MAPE, Eq. 7) — see metrics/error.hpp.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,37 @@ class Predictor {
 
   /// Display name for reports, e.g. "WCMA(a=0.7,D=20,K=3)".
   virtual std::string Name() const = 0;
+};
+
+/// Cumulative modelled MCU compute cost of a predictor's prediction work
+/// since construction or the last Reset().
+struct PredictorComputeCost {
+  double cycles = 0.0;            ///< modelled MCU cycles, summed.
+  std::uint64_t ops = 0;          ///< dynamic operations behind those cycles.
+  std::uint64_t predictions = 0;  ///< PredictNext() calls the totals cover.
+
+  double cycles_per_prediction() const {
+    return predictions > 0 ? cycles / static_cast<double>(predictions) : 0.0;
+  }
+  double ops_per_prediction() const {
+    return predictions > 0
+               ? static_cast<double>(ops) / static_cast<double>(predictions)
+               : 0.0;
+  }
+};
+
+/// Optional side-interface of a Predictor: backends that model deployment
+/// cost (the Q16.16 fixed-point build, the MicroVm-executed routine — see
+/// src/hw) implement it alongside Predictor; the float reference
+/// predictors do not.  mgmt/node_sim discovers it via dynamic_cast and
+/// threads the totals into NodeSimResult, which is how fleet summaries
+/// grow MCU-cost columns without mgmt depending on the hw layer.
+class ComputeCostReporter {
+ public:
+  virtual ~ComputeCostReporter() = default;
+
+  /// Totals since construction or the last Reset().
+  virtual PredictorComputeCost ComputeCost() const = 0;
 };
 
 /// Runs `predictor` over every slot of `series` and collects one scored

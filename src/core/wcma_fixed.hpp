@@ -49,6 +49,11 @@ struct OpCounts {
     branch += o.branch;
     return *this;
   }
+
+  /// Sum over every operation class.
+  std::uint64_t total() const {
+    return add + mul + div + load + store + branch;
+  }
 };
 
 /// Fixed-point WCMA with operation accounting.

@@ -93,7 +93,9 @@ double FixedHistogram::Quantile(double q) const {
   return hi_;
 }
 
-CellAccumulator::CellAccumulator() : violation_hist(0.0, 1.0, 256) {}
+CellAccumulator::CellAccumulator()
+    : violation_hist(0.0, 1.0, 256),
+      cycles_hist(0.0, kMaxCyclesPerWakeup, 500) {}
 
 void CellAccumulator::Add(const NodeSimResult& result) {
   violation_rate.Add(result.violation_rate);
@@ -107,6 +109,14 @@ void CellAccumulator::Add(const NodeSimResult& result) {
   violation_hist.Add(result.violation_rate);
   violations += result.violations;
   scored_slots += result.slots;
+  // Same own-count discipline for the MCU-cost channel: only nodes whose
+  // predictor modelled its cost contribute.
+  if (result.has_compute_cost && result.compute.predictions > 0) {
+    const double cyc = result.compute.cycles_per_prediction();
+    cycles_per_wakeup.Add(cyc);
+    ops_per_wakeup.Add(result.compute.ops_per_prediction());
+    cycles_hist.Add(cyc);
+  }
 }
 
 void CellAccumulator::Merge(const CellAccumulator& other) {
@@ -117,6 +127,9 @@ void CellAccumulator::Merge(const CellAccumulator& other) {
   violation_hist.Merge(other.violation_hist);
   violations += other.violations;
   scored_slots += other.scored_slots;
+  cycles_per_wakeup.Merge(other.cycles_per_wakeup);
+  ops_per_wakeup.Merge(other.ops_per_wakeup);
+  cycles_hist.Merge(other.cycles_hist);
 }
 
 namespace {
@@ -140,9 +153,22 @@ TableBuilder BuildSummaryTable(const FleetSummary& summary, bool csv) {
                                " nodes, " + std::to_string(summary.days) +
                                " days, N=" +
                                std::to_string(summary.slots_per_day));
+  // Cycle quantiles share the extrema-clamp rationale with the violation
+  // quantiles above.
+  auto cycles_p95 = [](const CellAccumulator& s) {
+    return std::clamp(s.cycles_hist.Quantile(0.95), s.cycles_per_wakeup.min,
+                      s.cycles_per_wakeup.max);
+  };
+  // MCU cost columns are cycle/op counts, not ratios: plain fixed-point
+  // numbers in both renderings, "n/a" for cells of uncosted (float)
+  // predictors.
+  auto cost = [&](const CellAccumulator& s, double v) {
+    return s.has_compute_cost() ? FormatFixed(v, 1) : std::string("n/a");
+  };
   table.Columns({"site", "predictor", "storage_j", "nodes", "viol_mean",
                  "viol_p50", "viol_p95", "viol_max", "mean_duty",
-                 "wasted_harvest", "mape"});
+                 "wasted_harvest", "mape", "cyc_mean", "cyc_p95",
+                 "ops_mean"});
   std::size_t last_site = 0;
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
     const ScenarioCell& cell = summary.cells[i];
@@ -157,7 +183,10 @@ TableBuilder BuildSummaryTable(const FleetSummary& summary, bool csv) {
                   fmt(s.wasted_fraction.mean),
                   // No node of the cell had an in-ROI slot: accuracy was
                   // not measured, which is not the same as perfect.
-                  s.mape.valid() ? fmt(s.mape.mean) : std::string("n/a")});
+                  s.mape.valid() ? fmt(s.mape.mean) : std::string("n/a"),
+                  cost(s, s.cycles_per_wakeup.mean),
+                  cost(s, s.has_compute_cost() ? cycles_p95(s) : 0.0),
+                  cost(s, s.ops_per_wakeup.mean)});
   }
   return table;
 }

@@ -68,6 +68,13 @@ class FixedHistogram {
 
 /// Everything a scenario cell reports, reduced over its nodes.
 struct CellAccumulator {
+  /// Upper edge of the per-wake-up cycle histogram.  Division dominates
+  /// the routine (~560 cycles each, K+2 divisions per wake-up), so the
+  /// range covers K beyond 30 at 40-cycle resolution; costlier outliers
+  /// clamp into the top bin (the p95 is additionally clamped to the true
+  /// extrema tracked by the moments when rendered).
+  static constexpr double kMaxCyclesPerWakeup = 20000.0;
+
   CellAccumulator();
 
   StreamingMoments violation_rate;   ///< per-node brown-out rate.
@@ -77,11 +84,20 @@ struct CellAccumulator {
   FixedHistogram violation_hist;     ///< violation-rate distribution.
   std::uint64_t violations = 0;      ///< summed brown-out slots.
   std::uint64_t scored_slots = 0;    ///< summed post-warm-up slots.
+  /// MCU-cost channel: per-node mean predict cycles / ops per wake-up,
+  /// fed only by nodes whose predictor reports compute cost (fixed-point
+  /// and VM backends).  The moments keep their own count, so cells of
+  /// float predictors stay empty ("n/a") rather than faking zero cost.
+  StreamingMoments cycles_per_wakeup;
+  StreamingMoments ops_per_wakeup;
+  FixedHistogram cycles_hist;        ///< cycles-per-wake-up distribution.
 
   void Add(const NodeSimResult& result);
   void Merge(const CellAccumulator& other);
 
   std::size_t nodes() const { return violation_rate.count; }
+  /// True when at least one node of the cell reported compute cost.
+  bool has_compute_cost() const { return cycles_per_wakeup.valid(); }
 };
 
 /// The deterministic output of a fleet run: the expanded cells plus one

@@ -31,16 +31,13 @@ FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
   const ScenarioSpec& s = matrix.spec;  // slot_seconds already forced.
 
   // ---- Phase 1: synthesize the distinct weather replicas. -----------------
-  // Trace lane t = site_index * nodes_per_cell + replica; every node maps
-  // onto its lane through its cell's site, so all predictor/storage cells
-  // of a site share traces (paired comparison) and the synthesis cost is
-  // sites × replicas, not cells × replicas.
-  const std::size_t trace_count = s.sites.size() * s.nodes_per_cell;
+  // Lanes are keyed (site, replica) — see ScenarioMatrix::trace_lane — so
+  // all predictor/storage cells of a site share traces (paired comparison)
+  // and the synthesis cost is sites × replicas, not cells × replicas.
+  const std::size_t trace_count = matrix.trace_lane_count();
   std::vector<std::uint64_t> trace_seed(trace_count, 0);
   for (const FleetNodeConfig& node : matrix.nodes) {
-    const std::size_t lane =
-        matrix.cells[node.cell].site_index * s.nodes_per_cell + node.replica;
-    trace_seed[lane] = node.trace_seed;
+    trace_seed[matrix.trace_lane(node)] = node.trace_seed;
   }
 
   auto t0 = std::chrono::steady_clock::now();
@@ -73,8 +70,7 @@ FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
     for (std::size_t i = begin; i < end; ++i) {
       const FleetNodeConfig& node = matrix.nodes[i];
       const ScenarioCell& cell = matrix.cells[node.cell];
-      const std::size_t lane =
-          cell.site_index * s.nodes_per_cell + node.replica;
+      const std::size_t lane = matrix.trace_lane(node);
 
       NodeSimConfig config = s.node;
       config.storage.capacity_j = cell.storage_j;

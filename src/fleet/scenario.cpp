@@ -6,6 +6,8 @@
 #include "common/rng.hpp"
 #include "core/baselines.hpp"
 #include "core/ewma.hpp"
+#include "hw/costed_fixed.hpp"
+#include "hw/vm_predictor.hpp"
 #include "solar/sites.hpp"
 #include "timeseries/trace.hpp"
 
@@ -14,6 +16,8 @@ namespace shep {
 const char* PredictorKindName(PredictorKind kind) {
   switch (kind) {
     case PredictorKind::kWcma:         return "WCMA";
+    case PredictorKind::kWcmaFixed:    return "FixedWCMA";
+    case PredictorKind::kWcmaVm:       return "VmWCMA";
     case PredictorKind::kEwma:         return "EWMA";
     case PredictorKind::kAr:           return "AR";
     case PredictorKind::kAdaptiveWcma: return "AdaptiveWCMA";
@@ -28,6 +32,10 @@ std::unique_ptr<Predictor> PredictorSpec::Make(int slots_per_day) const {
   switch (kind) {
     case PredictorKind::kWcma:
       return std::make_unique<Wcma>(wcma, slots_per_day);
+    case PredictorKind::kWcmaFixed:
+      return std::make_unique<CostedFixedWcma>(wcma, slots_per_day);
+    case PredictorKind::kWcmaVm:
+      return std::make_unique<VmWcmaPredictor>(wcma, slots_per_day);
     case PredictorKind::kEwma:
       return std::make_unique<Ewma>(ewma_weight, slots_per_day);
     case PredictorKind::kAr:
@@ -41,6 +49,36 @@ std::unique_ptr<Predictor> PredictorSpec::Make(int slots_per_day) const {
   }
   SHEP_REQUIRE(false, "unknown predictor kind");
   throw std::logic_error("unreachable");
+}
+
+void PredictorSpec::Validate(int slots_per_day) const {
+  // Mirrors every constructor precondition Make() can hit, per kind.
+  switch (kind) {
+    case PredictorKind::kWcma:
+    case PredictorKind::kWcmaFixed:
+    case PredictorKind::kWcmaVm:
+      wcma.Validate();
+      SHEP_REQUIRE(wcma.slots_k < slots_per_day,
+                   "WCMA K must be smaller than slots_per_day");
+      break;
+    case PredictorKind::kEwma:
+      SHEP_REQUIRE(ewma_weight >= 0.0 && ewma_weight <= 1.0,
+                   "EWMA weight must be in [0,1]");
+      break;
+    case PredictorKind::kAr:
+      ar.Validate();
+      break;
+    case PredictorKind::kAdaptiveWcma:
+      adaptive.Validate();
+      for (int k : adaptive.ks) {
+        SHEP_REQUIRE(k < slots_per_day,
+                     "adaptive candidate K must be < slots_per_day");
+      }
+      break;
+    case PredictorKind::kPersistence:
+    case PredictorKind::kPreviousDay:
+      break;
+  }
 }
 
 void ScenarioSpec::Validate() const {
@@ -58,6 +96,8 @@ void ScenarioSpec::Validate() const {
                  "resolution: " + code);
   }
   SHEP_REQUIRE(!predictors.empty(), "scenario needs at least one predictor");
+  SHEP_REQUIRE(slots_per_day >= 2, "need at least two slots per day");
+  for (const PredictorSpec& p : predictors) p.Validate(slots_per_day);
   SHEP_REQUIRE(!storage_tiers_j.empty(),
                "scenario needs at least one storage tier");
   for (double s : storage_tiers_j) {

@@ -32,9 +32,16 @@
 
 namespace shep {
 
-/// Predictor designs a fleet can deploy.
+/// Predictor designs a fleet can deploy.  The three WCMA entries are the
+/// same algorithm on three arithmetic backends: double-precision reference
+/// (kWcma), the Q16.16 fixed-point MCU build (kWcmaFixed), and the routine
+/// executed instruction-by-instruction on the cycle-counted MicroVm
+/// (kWcmaVm).  The two MCU backends implement ComputeCostReporter, so their
+/// cells additionally report per-wake-up cycle/op cost in fleet summaries.
 enum class PredictorKind {
   kWcma,
+  kWcmaFixed,
+  kWcmaVm,
   kEwma,
   kAr,
   kAdaptiveWcma,
@@ -42,19 +49,24 @@ enum class PredictorKind {
   kPreviousDay,
 };
 
-/// Short display name ("WCMA", "EWMA", ...).
+/// Short display name ("WCMA", "FixedWCMA", "VmWCMA", "EWMA", ...).
 const char* PredictorKindName(PredictorKind kind);
 
 /// One predictor design: a kind plus the parameters that kind reads.
 struct PredictorSpec {
   PredictorKind kind = PredictorKind::kWcma;
-  WcmaParams wcma;                ///< kWcma.
+  WcmaParams wcma;                ///< kWcma / kWcmaFixed / kWcmaVm.
   double ewma_weight = 0.5;       ///< kEwma (Kansal et al. default).
   ArParams ar;                    ///< kAr.
   AdaptiveWcmaParams adaptive;    ///< kAdaptiveWcma.
 
   /// Instantiates a fresh predictor for a deployment with N slots per day.
   std::unique_ptr<Predictor> Make(int slots_per_day) const;
+
+  /// Rejects parameters Make() would throw on, so a malformed design is
+  /// caught by ScenarioSpec::Validate up front instead of on a pool worker
+  /// (where the throw would std::terminate).
+  void Validate(int slots_per_day) const;
 
   /// Cell label for reports: the kind name.  When a scenario lists the same
   /// kind more than once (e.g. two WCMA tunings), ExpandScenario suffixes
@@ -119,6 +131,17 @@ struct ScenarioMatrix {
   ScenarioSpec spec;
   std::vector<ScenarioCell> cells;
   std::vector<FleetNodeConfig> nodes;
+
+  /// Weather-trace lanes are keyed by (site, replica) only — every
+  /// predictor/storage cell of a site shares its site's lanes, which is the
+  /// paired design — laid out site-major.  The runner synthesizes one trace
+  /// per lane and routes each node onto its lane through these two helpers.
+  std::size_t trace_lane_count() const {
+    return spec.sites.size() * spec.nodes_per_cell;
+  }
+  std::size_t trace_lane(const FleetNodeConfig& node) const {
+    return cells[node.cell].site_index * spec.nodes_per_cell + node.replica;
+  }
 };
 
 /// Derives an independent 64-bit stream seed from a root seed and two

@@ -1,0 +1,19 @@
+#include "hw/costed_fixed.hpp"
+
+namespace shep {
+
+CostedFixedWcma::CostedFixedWcma(const WcmaParams& params, int slots_per_day,
+                                 const CycleCosts& costs)
+    : inner_(params, slots_per_day), costs_(costs) {
+  costs_.Validate();
+}
+
+PredictorComputeCost CostedFixedWcma::ComputeCost() const {
+  PredictorComputeCost cost;
+  cost.cycles = costs_.Cycles(inner_.predict_ops());
+  cost.ops = inner_.predict_ops().total();
+  cost.predictions = inner_.predict_calls();
+  return cost;
+}
+
+}  // namespace shep

@@ -94,6 +94,14 @@ NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
   if (result.mape_points > 0) {
     result.mape = ape_sum / static_cast<double>(result.mape_points);
   }
+  // MCU-cost channel: the backends that model deployment cost expose their
+  // cumulative counters through the optional ComputeCostReporter interface;
+  // the Reset() at entry zeroed them, so the totals cover exactly this run.
+  if (const auto* costed =
+          dynamic_cast<const ComputeCostReporter*>(&predictor)) {
+    result.has_compute_cost = true;
+    result.compute = costed->ComputeCost();
+  }
   return result;
 }
 

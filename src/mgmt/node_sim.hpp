@@ -48,6 +48,14 @@ struct NodeSimResult {
   /// region-of-interest threshold.
   double mape = 0.0;
   std::size_t mape_points = 0;      ///< slots entering the MAPE average.
+  /// Modelled MCU compute cost of the predictor over the WHOLE run
+  /// (warm-up included; the predictor is Reset() at entry, so its
+  /// cumulative counters cover exactly this simulation).  Populated only
+  /// when the predictor implements ComputeCostReporter (the fixed-point and
+  /// VM backends of src/hw); float predictors leave has_compute_cost false
+  /// and downstream aggregation reports their cost as "n/a", not zero.
+  bool has_compute_cost = false;
+  PredictorComputeCost compute;     ///< cycle/op/prediction totals.
 };
 
 /// Runs `predictor` over `series` through the controller and store.

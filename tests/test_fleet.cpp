@@ -122,6 +122,24 @@ TEST(ScenarioMatrix, ValidatesSpec) {
   spec.storage_tiers_j = {};
   EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
   spec = SmallSpec();
+  spec.sites = {};
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors = {};
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.nodes_per_cell = 0;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.storage_tiers_j = {1500.0, 0.0};  // every tier must be positive.
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.initial_level_jitter = -0.1;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.initial_level_jitter = 0.6;  // > the 0.5 half-width cap.
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
   spec.days = spec.node.warmup_days;  // nothing left to score.
   EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
   spec = SmallSpec();
@@ -140,9 +158,40 @@ TEST(ScenarioMatrix, ValidatesSpec) {
   EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);  // front, not
 }  // on a pool worker (where a throw would abort the process).
 
+TEST(ScenarioMatrix, ValidatesPredictorParameters) {
+  // Malformed designs must be rejected by Validate(), not discovered by
+  // Make() throwing on a pool worker mid-run.
+  ScenarioSpec spec = SmallSpec();
+  spec.predictors[0].wcma.alpha = 1.5;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors[0].wcma.days = 0;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors[0].wcma.slots_k = spec.slots_per_day;  // K must be < N.
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors[0].kind = PredictorKind::kWcmaVm;  // same K rule, VM build.
+  spec.predictors[0].wcma.slots_k = spec.slots_per_day;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors[1].kind = PredictorKind::kEwma;
+  spec.predictors[1].ewma_weight = -0.2;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors[1].kind = PredictorKind::kAr;
+  spec.predictors[1].ar.lambda = 0.0;
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+  spec = SmallSpec();
+  spec.predictors[1].kind = PredictorKind::kAdaptiveWcma;
+  spec.predictors[1].adaptive.ks = {1, spec.slots_per_day};
+  EXPECT_THROW(ExpandScenario(spec), std::invalid_argument);
+}
+
 TEST(PredictorSpec, FactoryMakesEveryKind) {
   for (PredictorKind kind :
-       {PredictorKind::kWcma, PredictorKind::kEwma, PredictorKind::kAr,
+       {PredictorKind::kWcma, PredictorKind::kWcmaFixed,
+        PredictorKind::kWcmaVm, PredictorKind::kEwma, PredictorKind::kAr,
         PredictorKind::kAdaptiveWcma, PredictorKind::kPersistence,
         PredictorKind::kPreviousDay}) {
     PredictorSpec spec;

@@ -8,6 +8,8 @@
 
 #include "core/wcma.hpp"
 #include "core/wcma_fixed.hpp"
+#include "hw/costed_fixed.hpp"
+#include "hw/vm_predictor.hpp"
 #include "solar/sites.hpp"
 #include "solar/synth.hpp"
 #include "timeseries/slotting.hpp"
@@ -88,6 +90,69 @@ TEST(ResetParity, FixedWcmaMatchesFreshPredictor) {
     // Fixed-point arithmetic is deterministic: bit-identical, not just close.
     EXPECT_DOUBLE_EQ(got[i], want[i]) << "prediction " << i;
   }
+}
+
+TEST(ResetParity, VmWcmaMatchesFreshPredictor) {
+  WcmaParams params;
+  params.days = 5;
+  VmWcmaPredictor reused(params, kSlotsPerDay);
+  Predictions(reused);  // dirty the host state, the VM memory, the counters
+  reused.Reset();
+  EXPECT_FALSE(reused.Ready());
+
+  VmWcmaPredictor fresh(params, kSlotsPerDay);
+  const auto got = Predictions(reused);
+  const auto want = Predictions(fresh);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    // Identical instruction streams on identical inputs: bit-identical.
+    // (VM data memory persists across runs by design, but every input word
+    // the routine reads is re-poked each wake-up, so stale state from the
+    // pre-Reset pass must not leak through.)
+    EXPECT_DOUBLE_EQ(got[i], want[i]) << "prediction " << i;
+  }
+}
+
+TEST(ResetParity, VmWcmaResetClearsCycleCounters) {
+  WcmaParams params;
+  params.days = 5;
+  VmWcmaPredictor p(params, kSlotsPerDay);
+  Predictions(p);
+  ASSERT_GT(p.predict_calls(), 0u);
+  ASSERT_GT(p.vm_runs(), 0u);
+  ASSERT_GT(p.ComputeCost().cycles, 0.0);
+  ASSERT_GT(p.ComputeCost().ops, 0u);
+  ASSERT_GT(p.last_cycles(), 0.0);
+
+  p.Reset();
+  EXPECT_EQ(p.predict_calls(), 0u);
+  EXPECT_EQ(p.vm_runs(), 0u);
+  EXPECT_EQ(p.ComputeCost().cycles, 0.0);
+  EXPECT_EQ(p.ComputeCost().ops, 0u);
+  EXPECT_EQ(p.ComputeCost().predictions, 0u);
+  EXPECT_EQ(p.last_cycles(), 0.0);
+  EXPECT_EQ(p.total_ops().total(), 0u);
+}
+
+TEST(ResetParity, CostedFixedWcmaMatchesBareFixedWcma) {
+  // The hw wrapper must not perturb the prediction stream it forwards, and
+  // its cost report must clear on Reset like the inner counters do.
+  WcmaParams params;
+  params.days = 5;
+  CostedFixedWcma wrapped(params, kSlotsPerDay);
+  FixedWcma bare(params, kSlotsPerDay);
+  const auto got = Predictions(wrapped);
+  const auto want = Predictions(bare);
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_DOUBLE_EQ(got[i], want[i]) << "prediction " << i;
+  }
+  ASSERT_GT(wrapped.ComputeCost().cycles, 0.0);
+  ASSERT_GT(wrapped.ComputeCost().predictions, 0u);
+  wrapped.Reset();
+  EXPECT_EQ(wrapped.ComputeCost().cycles, 0.0);
+  EXPECT_EQ(wrapped.ComputeCost().ops, 0u);
+  EXPECT_EQ(wrapped.ComputeCost().predictions, 0u);
 }
 
 TEST(ResetParity, FixedWcmaResetClearsOpCounters) {
