@@ -15,6 +15,7 @@
 
 #include "common/threadpool.hpp"
 #include "fleet/runner.hpp"
+#include "fleet/trace_cache.hpp"
 
 int main(int argc, char** argv) {
   using namespace shep;
@@ -87,6 +88,27 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Trace-cache trajectory: the same scenario run cold (every lane
+  // synthesized into the cache) and warm (every lane served from it).
+  // Warm synth time is the cache's whole value proposition for campaigns
+  // that re-run overlapping scenarios, so CI tracks both.
+  TraceCache cache;
+  FleetRunOptions cached_options;
+  cached_options.pool = &pool;
+  cached_options.trace_cache = &cache;
+  FleetRunInfo cold_info;
+  const FleetSummary cold = RunFleet(spec, cached_options, &cold_info);
+  FleetRunInfo warm_info;
+  const FleetSummary warm = RunFleet(spec, cached_options, &warm_info);
+  if (cold.ToCsv() != serial.ToCsv() || warm.ToCsv() != serial.ToCsv()) {
+    std::cerr << "FATAL: trace-cached summaries diverge\n";
+    return 1;
+  }
+  if (warm_info.trace_cache_misses != 0) {
+    std::cerr << "FATAL: warm run missed the trace cache\n";
+    return 1;
+  }
+
   const double serial_s = serial_info.synth_seconds + serial_info.sim_seconds;
   const double parallel_s =
       parallel_info.synth_seconds + parallel_info.sim_seconds;
@@ -115,7 +137,13 @@ int main(int argc, char** argv) {
                                                       : 0.0)
             << ",\n"
             << "  \"nodes_per_second\": "
-            << (parallel_s > 0.0 ? nodes / parallel_s : 0.0) << "\n"
+            << (parallel_s > 0.0 ? nodes / parallel_s : 0.0) << ",\n"
+            << "  \"cache_cold_synth_seconds\": " << cold_info.synth_seconds
+            << ",\n"
+            << "  \"cache_warm_synth_seconds\": " << warm_info.synth_seconds
+            << ",\n"
+            << "  \"cache_hits\": " << warm_info.trace_cache_hits << ",\n"
+            << "  \"cache_misses\": " << cold_info.trace_cache_misses << "\n"
             << "}\n";
   return 0;
 }

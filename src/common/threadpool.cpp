@@ -1,6 +1,8 @@
 #include "common/threadpool.hpp"
 
 #include <atomic>
+#include <exception>
+#include <memory>
 
 namespace shep {
 
@@ -61,27 +63,59 @@ void ThreadPool::WorkerLoop() {
   }
 }
 
+namespace {
+
+/// Join state of one ParallelFor call.  Owning it per batch (instead of
+/// joining through the pool-global in_flight_ counter) is what lets two
+/// concurrent batches on one pool finish independently, and gives the
+/// batch's first exception a home until the calling thread can rethrow it.
+struct BatchState {
+  std::atomic<std::size_t> cursor{0};   ///< next iteration to claim.
+  std::atomic<bool> failed{false};      ///< stop claiming new iterations.
+  std::mutex mutex;
+  std::condition_variable done;
+  std::size_t pending_workers = 0;      ///< pool tasks not yet retired.
+  std::exception_ptr first_error;       ///< first throw of the batch.
+};
+
+}  // namespace
+
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
   if (pool == nullptr || pool->thread_count() <= 1 || count <= 1) {
+    // Inline execution throws straight through to the caller already.
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
   // Chunk by a shared atomic cursor: cheap and balances uneven iteration
   // costs (small-N sweeps finish much faster than N=288 ones).
-  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
-  const std::size_t workers =
-      std::min(pool->thread_count(), count);
+  auto batch = std::make_shared<BatchState>();
+  const std::size_t workers = std::min(pool->thread_count(), count);
+  batch->pending_workers = workers;
   for (std::size_t w = 0; w < workers; ++w) {
-    pool->Submit([cursor, count, &fn] {
-      for (;;) {
-        const std::size_t i = cursor->fetch_add(1);
-        if (i >= count) return;
-        fn(i);
+    // fn is captured by reference: ParallelFor blocks until the batch has
+    // fully retired, so the referent outlives every worker task.
+    pool->Submit([batch, count, &fn] {
+      while (!batch->failed.load(std::memory_order_relaxed)) {
+        const std::size_t i = batch->cursor.fetch_add(1);
+        if (i >= count) break;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(batch->mutex);
+          if (batch->first_error == nullptr) {
+            batch->first_error = std::current_exception();
+          }
+          batch->failed.store(true, std::memory_order_relaxed);
+        }
       }
+      std::lock_guard<std::mutex> lock(batch->mutex);
+      if (--batch->pending_workers == 0) batch->done.notify_all();
     });
   }
-  pool->Wait();
+  std::unique_lock<std::mutex> lock(batch->mutex);
+  batch->done.wait(lock, [&] { return batch->pending_workers == 0; });
+  if (batch->first_error != nullptr) std::rethrow_exception(batch->first_error);
 }
 
 }  // namespace shep

@@ -29,11 +29,15 @@ class ThreadPool {
 
   std::size_t thread_count() const { return workers_.size(); }
 
-  /// Enqueues a task; tasks must not throw (they run under noexcept
-  /// expectations — wrap fallible work yourself).
+  /// Enqueues a task; raw-submitted tasks must not throw (nothing past the
+  /// worker loop could rethrow them — use ParallelFor for fallible work, it
+  /// captures and rethrows at its own join).
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every task submitted so far — from any caller — has
+  /// finished.  This is a pool-GLOBAL join for raw Submit() users;
+  /// ParallelFor does not use it (each batch joins on its own counter, so
+  /// concurrent batches on one pool never wait for each other's tasks).
   void Wait();
 
  private:
@@ -50,6 +54,13 @@ class ThreadPool {
 
 /// Runs fn(i) for i in [0, count) across the pool (or inline when pool is
 /// null), blocking until all iterations complete.
+///
+/// The join is per-batch: two ParallelFor calls racing on the same pool
+/// each return as soon as their OWN iterations are done.  If any iteration
+/// throws, the first exception of the batch is captured, remaining
+/// not-yet-started iterations are abandoned, and the exception is rethrown
+/// here on the calling thread once every in-flight iteration has retired —
+/// the pool stays usable afterwards.
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn);
 

@@ -1,13 +1,69 @@
 #include "fleet/aggregate.hpp"
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
+#include <cstdlib>
+#include <istream>
+#include <ostream>
 
 #include "common/check.hpp"
 #include "common/strings.hpp"
 #include "report/table.hpp"
 
 namespace shep {
+
+namespace serdes {
+
+void WriteDouble(std::ostream& os, double value) {
+  // Hexfloat is exact for every finite double; infinities and NaNs print
+  // as "inf"/"nan", which strtod parses back (NaN payloads don't matter —
+  // no aggregate field ever merges on one).
+  const auto flags = os.flags();
+  os << std::hexfloat << value;
+  os.flags(flags);
+}
+
+double ReadDouble(std::istream& is) {
+  std::string token;
+  is >> token;
+  SHEP_REQUIRE(!token.empty(), "unexpected end of serialized input");
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  errno = 0;
+  const double value = std::strtod(begin, &end);
+  // Reject overflowed decimals ("1e999" → ±HUGE_VAL + ERANGE): no
+  // Serialize call emits them (hexfloat never overflows strtod), so one
+  // in the wire text is corruption, not data.  Underflow (ERANGE with a
+  // tiny result) stays accepted — subnormal hexfloats parse exactly.
+  SHEP_REQUIRE(end == begin + token.size() &&
+                   !(errno == ERANGE && std::abs(value) == HUGE_VAL),
+               "malformed serialized double: " + token);
+  return value;
+}
+
+std::uint64_t ReadU64(std::istream& is) {
+  std::string token;
+  is >> token;
+  SHEP_REQUIRE(!token.empty(), "unexpected end of serialized input");
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  errno = 0;  // strtoull reports overflow only through ERANGE.
+  const unsigned long long value = std::strtoull(begin, &end, 10);
+  SHEP_REQUIRE(end == begin + token.size() && token[0] != '-' &&
+                   errno != ERANGE,
+               "malformed serialized integer: " + token);
+  return static_cast<std::uint64_t>(value);
+}
+
+void ExpectToken(std::istream& is, const std::string& keyword) {
+  std::string token;
+  is >> token;
+  SHEP_REQUIRE(token == keyword,
+               "expected `" + keyword + "`, got `" + token + "`");
+}
+
+}  // namespace serdes
 
 void StreamingMoments::Add(double x) {
   if (count == 0) {
@@ -49,6 +105,29 @@ double StreamingMoments::variance() const {
 
 double StreamingMoments::stddev() const { return std::sqrt(variance()); }
 
+void StreamingMoments::Serialize(std::ostream& os) const {
+  os << "moments " << count << ' ';
+  serdes::WriteDouble(os, mean);
+  os << ' ';
+  serdes::WriteDouble(os, m2);
+  os << ' ';
+  serdes::WriteDouble(os, min);
+  os << ' ';
+  serdes::WriteDouble(os, max);
+  os << '\n';
+}
+
+StreamingMoments StreamingMoments::Deserialize(std::istream& is) {
+  serdes::ExpectToken(is, "moments");
+  StreamingMoments m;
+  m.count = static_cast<std::size_t>(serdes::ReadU64(is));
+  m.mean = serdes::ReadDouble(is);
+  m.m2 = serdes::ReadDouble(is);
+  m.min = serdes::ReadDouble(is);
+  m.max = serdes::ReadDouble(is);
+  return m;
+}
+
 FixedHistogram::FixedHistogram(double lo, double hi, std::size_t bins)
     : lo_(lo), hi_(hi), bins_(bins, 0) {
   SHEP_REQUIRE(hi > lo, "histogram range must be non-empty");
@@ -56,6 +135,13 @@ FixedHistogram::FixedHistogram(double lo, double hi, std::size_t bins)
 }
 
 void FixedHistogram::Add(double x) {
+  // NaN is unordered: it would pass std::clamp unchanged and the cast to
+  // std::size_t would be undefined behaviour.  Tally it separately instead
+  // of corrupting a bin.
+  if (std::isnan(x)) {
+    ++nan_count_;
+    return;
+  }
   const double t = (x - lo_) / (hi_ - lo_);
   const auto last = static_cast<double>(bins_.size() - 1);
   const double raw = std::clamp(t * static_cast<double>(bins_.size()), 0.0,
@@ -70,6 +156,65 @@ void FixedHistogram::Merge(const FixedHistogram& other) {
                "histograms must share geometry to merge");
   for (std::size_t i = 0; i < bins_.size(); ++i) bins_[i] += other.bins_[i];
   total_ += other.total_;
+  nan_count_ += other.nan_count_;
+}
+
+void FixedHistogram::Serialize(std::ostream& os) const {
+  os << "hist ";
+  serdes::WriteDouble(os, lo_);
+  os << ' ';
+  serdes::WriteDouble(os, hi_);
+  os << ' ' << bins_.size() << ' ' << nan_count_;
+  // Sparse non-zero bins ("index:count"): cells concentrate their mass in
+  // a handful of bins, so this keeps partials small; total_ is recomputed
+  // on parse rather than trusted.
+  std::size_t nonzero = 0;
+  for (std::uint64_t b : bins_) nonzero += b != 0 ? 1 : 0;
+  os << ' ' << nonzero;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] != 0) os << ' ' << i << ':' << bins_[i];
+  }
+  os << '\n';
+}
+
+FixedHistogram FixedHistogram::Deserialize(std::istream& is) {
+  serdes::ExpectToken(is, "hist");
+  const double lo = serdes::ReadDouble(is);
+  const double hi = serdes::ReadDouble(is);
+  const auto bin_count = static_cast<std::size_t>(serdes::ReadU64(is));
+  FixedHistogram hist(lo, hi, bin_count);
+  hist.nan_count_ = serdes::ReadU64(is);
+  const std::uint64_t nonzero = serdes::ReadU64(is);
+  bool any = false;
+  std::size_t last = 0;
+  for (std::uint64_t n = 0; n < nonzero; ++n) {
+    std::string token;
+    is >> token;
+    const auto colon = token.find(':');
+    SHEP_REQUIRE(colon != std::string::npos && colon > 0 &&
+                     colon + 1 < token.size(),
+                 "malformed histogram bin entry: " + token);
+    const auto index = ParseInt(token.substr(0, colon));
+    const auto count = ParseInt(token.substr(colon + 1));
+    // ParseInt accepts a sign, so reject non-positive counts explicitly —
+    // a negative count cast to uint64 would fabricate a huge bin mass.
+    SHEP_REQUIRE(index.has_value() && count.has_value() && *index >= 0 &&
+                     *count > 0,
+                 "malformed histogram bin entry: " + token);
+    const auto i = static_cast<std::size_t>(*index);
+    SHEP_REQUIRE(i < hist.bins_.size(),
+                 "histogram bin index out of range: " + token);
+    // Strictly ascending indices: a duplicate would overwrite the bin yet
+    // double-add into total_, leaving the two inconsistent.
+    SHEP_REQUIRE(!any || i > last,
+                 "histogram bin entries must be strictly ascending: " +
+                     token);
+    any = true;
+    last = i;
+    hist.bins_[i] = static_cast<std::uint64_t>(*count);
+    hist.total_ += static_cast<std::uint64_t>(*count);
+  }
+  return hist;
 }
 
 double FixedHistogram::Quantile(double q) const {
@@ -130,6 +275,34 @@ void CellAccumulator::Merge(const CellAccumulator& other) {
   cycles_per_wakeup.Merge(other.cycles_per_wakeup);
   ops_per_wakeup.Merge(other.ops_per_wakeup);
   cycles_hist.Merge(other.cycles_hist);
+}
+
+void CellAccumulator::Serialize(std::ostream& os) const {
+  violation_rate.Serialize(os);
+  mean_duty.Serialize(os);
+  wasted_fraction.Serialize(os);
+  mape.Serialize(os);
+  cycles_per_wakeup.Serialize(os);
+  ops_per_wakeup.Serialize(os);
+  violation_hist.Serialize(os);
+  cycles_hist.Serialize(os);
+  os << "totals " << violations << ' ' << scored_slots << '\n';
+}
+
+CellAccumulator CellAccumulator::Deserialize(std::istream& is) {
+  CellAccumulator acc;
+  acc.violation_rate = StreamingMoments::Deserialize(is);
+  acc.mean_duty = StreamingMoments::Deserialize(is);
+  acc.wasted_fraction = StreamingMoments::Deserialize(is);
+  acc.mape = StreamingMoments::Deserialize(is);
+  acc.cycles_per_wakeup = StreamingMoments::Deserialize(is);
+  acc.ops_per_wakeup = StreamingMoments::Deserialize(is);
+  acc.violation_hist = FixedHistogram::Deserialize(is);
+  acc.cycles_hist = FixedHistogram::Deserialize(is);
+  serdes::ExpectToken(is, "totals");
+  acc.violations = serdes::ReadU64(is);
+  acc.scored_slots = serdes::ReadU64(is);
+  return acc;
 }
 
 namespace {

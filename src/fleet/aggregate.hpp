@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,21 @@
 #include "mgmt/node_sim.hpp"
 
 namespace shep {
+
+/// Token-level helpers shared by every fleet text (de)serializer
+/// (aggregates here, FleetPartial / ShardPlan in fleet/partial and
+/// fleet/shard_plan).  Doubles travel as hexfloats: exact round trip, no
+/// locale or precision pitfalls.  Readers throw std::invalid_argument on
+/// malformed input, naming the offending token.
+namespace serdes {
+
+void WriteDouble(std::ostream& os, double value);
+double ReadDouble(std::istream& is);
+std::uint64_t ReadU64(std::istream& is);
+/// Reads one token and requires it to equal `keyword` (format framing).
+void ExpectToken(std::istream& is, const std::string& keyword);
+
+}  // namespace serdes
 
 /// Single-pass count/mean/variance/extrema accumulator (Welford).
 struct StreamingMoments {
@@ -41,10 +57,19 @@ struct StreamingMoments {
   bool valid() const { return count > 0; }
   double variance() const;  ///< population variance; 0 when count < 2.
   double stddev() const;
+
+  /// Single-line text form; doubles rendered as hexfloats so the
+  /// deserialized value is BIT-identical (the distributed merge path
+  /// depends on it).
+  void Serialize(std::ostream& os) const;
+  static StreamingMoments Deserialize(std::istream& is);
 };
 
 /// Fixed-range histogram with uniform bins; out-of-range values clamp to
-/// the edge bins.  Mergeable by bin-wise addition.
+/// the edge bins.  NaN samples — unordered under clamp, so binning one
+/// would be undefined behaviour — are tallied into a dedicated NaN count
+/// that merges and serializes like the bins but never distorts quantiles.
+/// Mergeable by bin-wise addition.
 class FixedHistogram {
  public:
   FixedHistogram(double lo, double hi, std::size_t bins);
@@ -52,18 +77,30 @@ class FixedHistogram {
   void Add(double x);
   void Merge(const FixedHistogram& other);
 
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// In-bin sample mass (excludes NaN samples).
   std::uint64_t total() const { return total_; }
+  /// Samples rejected as NaN; kept out of total() so Quantile's mass
+  /// bookkeeping stays consistent.
+  std::uint64_t nan_count() const { return nan_count_; }
   const std::vector<std::uint64_t>& bins() const { return bins_; }
 
   /// Quantile q in [0, 1], linearly interpolated inside the holding bin.
   /// Requires total() > 0.
   double Quantile(double q) const;
 
+  /// Single-line text form (geometry + sparse non-zero bins); bit-exact
+  /// round trip via Deserialize.
+  void Serialize(std::ostream& os) const;
+  static FixedHistogram Deserialize(std::istream& is);
+
  private:
   double lo_;
   double hi_;
   std::vector<std::uint64_t> bins_;
   std::uint64_t total_ = 0;
+  std::uint64_t nan_count_ = 0;
 };
 
 /// Everything a scenario cell reports, reduced over its nodes.
@@ -98,6 +135,13 @@ struct CellAccumulator {
   std::size_t nodes() const { return violation_rate.count; }
   /// True when at least one node of the cell reported compute cost.
   bool has_compute_cost() const { return cycles_per_wakeup.valid(); }
+
+  /// Multi-line text form of every field (moments, histograms incl. NaN
+  /// counts, integer totals), bit-exact through Deserialize; this is what
+  /// lets a FleetPartial cross a process boundary and still merge
+  /// bit-identically to the single-process run.
+  void Serialize(std::ostream& os) const;
+  static CellAccumulator Deserialize(std::istream& is);
 };
 
 /// The deterministic output of a fleet run: the expanded cells plus one

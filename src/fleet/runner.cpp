@@ -1,8 +1,10 @@
 #include "fleet/runner.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <numeric>
 #include <utility>
 #include <vector>
 
@@ -24,50 +26,83 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
-                      FleetRunInfo* info) {
-  SHEP_REQUIRE(options.shard_size >= 1, "shard_size must be >= 1");
-  const ScenarioMatrix matrix = ExpandScenario(spec);
+FleetPartial RunFleetShards(const ShardPlan& plan,
+                            const std::vector<std::size_t>& shard_subset,
+                            const FleetRunOptions& options,
+                            FleetRunInfo* info) {
+  SHEP_REQUIRE(!shard_subset.empty(), "shard subset must not be empty");
+  std::vector<std::size_t> subset = shard_subset;
+  std::sort(subset.begin(), subset.end());
+  SHEP_REQUIRE(subset.back() < plan.shards.size(),
+               "shard index out of range for the plan");
+  SHEP_REQUIRE(std::adjacent_find(subset.begin(), subset.end()) ==
+                   subset.end(),
+               "shard subset must not repeat a shard");
+
+  const ScenarioMatrix& matrix = plan.matrix;
   const ScenarioSpec& s = matrix.spec;  // slot_seconds already forced.
 
-  // ---- Phase 1: synthesize the distinct weather replicas. -----------------
-  // Lanes are keyed (site, replica) — see ScenarioMatrix::trace_lane — so
-  // all predictor/storage cells of a site share traces (paired comparison)
-  // and the synthesis cost is sites × replicas, not cells × replicas.
-  const std::size_t trace_count = matrix.trace_lane_count();
-  std::vector<std::uint64_t> trace_seed(trace_count, 0);
-  for (const FleetNodeConfig& node : matrix.nodes) {
-    trace_seed[matrix.trace_lane(node)] = node.trace_seed;
+  // ---- Phase 1: synthesize the weather lanes this subset reads. -----------
+  // Lanes are keyed (site, replica) — see ShardPlan::lanes — so all
+  // predictor/storage cells of a site share traces (paired comparison) and
+  // the synthesis cost is at most sites × replicas, not cells × replicas.
+  // A subset run only pays for the lanes its own nodes touch.
+  std::vector<std::shared_ptr<const SlotSeries>> series(plan.lanes.size());
+  std::vector<std::size_t> needed;
+  {
+    std::vector<bool> lane_needed(plan.lanes.size(), false);
+    for (std::size_t shard : subset) {
+      const ShardRange& range = plan.shards[shard];
+      for (std::size_t i = range.begin_node; i < range.end_node; ++i) {
+        lane_needed[matrix.trace_lane(matrix.nodes[i])] = true;
+      }
+    }
+    for (std::size_t l = 0; l < lane_needed.size(); ++l) {
+      if (lane_needed[l]) needed.push_back(l);
+    }
   }
 
+  // Hit/miss tallies are counted per lookup, NOT diffed from the cache's
+  // global stats(): the cache is shared state, and concurrent runs would
+  // show up in each other's deltas.
+  std::atomic<std::uint64_t> cache_hits{0};
+  std::atomic<std::uint64_t> cache_misses{0};
   auto t0 = std::chrono::steady_clock::now();
-  std::vector<std::unique_ptr<const SlotSeries>> series(trace_count);
-  ParallelFor(options.pool, trace_count, [&](std::size_t t) {
-    const SiteProfile& site = SiteByCode(s.sites[t / s.nodes_per_cell]);
+  ParallelFor(options.pool, needed.size(), [&](std::size_t n) {
+    const TraceLanePlan& lane = plan.lanes[needed[n]];
+    if (options.trace_cache != nullptr) {
+      bool hit = false;
+      series[lane.lane] = options.trace_cache->Get(
+          lane.site_code, lane.trace_seed, s.days, s.slots_per_day, &hit);
+      (hit ? cache_hits : cache_misses).fetch_add(1,
+                                                  std::memory_order_relaxed);
+      return;
+    }
     SynthOptions synth;
     synth.days = s.days;
-    synth.seed_offset = trace_seed[t];
-    series[t] = std::make_unique<const SlotSeries>(
-        SynthesizeTrace(site, synth), s.slots_per_day);
+    synth.seed_offset = lane.trace_seed;
+    series[lane.lane] = std::make_shared<const SlotSeries>(
+        SynthesizeTrace(SiteByCode(lane.site_code), synth), s.slots_per_day);
   });
   const double synth_seconds = SecondsSince(t0);
 
   // ---- Phase 2: sharded node simulation. ----------------------------------
-  // Shard boundaries are a pure function of (node count, shard_size); the
-  // pool only decides which thread runs which shard.  Nodes are cell-major,
-  // so a shard's accumulators form a short run of consecutive cells.
-  const std::size_t node_count = matrix.nodes.size();
-  const std::size_t shard_count =
-      (node_count + options.shard_size - 1) / options.shard_size;
-  std::vector<std::vector<std::pair<std::size_t, CellAccumulator>>>
-      shard_stats(shard_count);
+  // Shard boundaries come from the plan — a pure function of (node count,
+  // shard_size) — so the pool only decides which thread runs which shard.
+  // Nodes are cell-major: a shard's accumulators form a short run of
+  // consecutive cells, kept per shard (never pre-merged across shards) so
+  // the final fold can always happen in plan order.
+  FleetPartial partial;
+  partial.scenario_name = s.name;
+  partial.plan_fingerprint = plan.fingerprint;
+  partial.shards.resize(subset.size());
 
   t0 = std::chrono::steady_clock::now();
-  ParallelFor(options.pool, shard_count, [&](std::size_t shard) {
-    auto& local = shard_stats[shard];
-    const std::size_t begin = shard * options.shard_size;
-    const std::size_t end = std::min(begin + options.shard_size, node_count);
-    for (std::size_t i = begin; i < end; ++i) {
+  ParallelFor(options.pool, subset.size(), [&](std::size_t n) {
+    const ShardRange& range = plan.shards[subset[n]];
+    ShardCells& local = partial.shards[n];
+    local.shard = range.index;
+    for (std::size_t i = range.begin_node; i < range.end_node; ++i) {
       const FleetNodeConfig& node = matrix.nodes[i];
       const ScenarioCell& cell = matrix.cells[node.cell];
       const std::size_t lane = matrix.trace_lane(node);
@@ -81,37 +116,87 @@ FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
       const NodeSimResult result =
           SimulateNode(*predictor, *series[lane], config);
 
-      if (local.empty() || local.back().first != node.cell) {
-        local.emplace_back(node.cell, CellAccumulator{});
+      if (local.cells.empty() || local.cells.back().first != node.cell) {
+        local.cells.emplace_back(node.cell, CellAccumulator{});
       }
-      local.back().second.Add(result);
+      local.cells.back().second.Add(result);
     }
   });
-
-  // Merge in shard order: the fold sequence is scheduling-independent, so
-  // the summary is bit-identical at any thread count.
-  FleetSummary summary;
-  summary.scenario_name = s.name;
-  summary.node_count = node_count;
-  summary.days = s.days;
-  summary.slots_per_day = s.slots_per_day;
-  summary.cells = matrix.cells;
-  summary.stats.assign(matrix.cells.size(), CellAccumulator{});
-  for (const auto& shard : shard_stats) {
-    for (const auto& [cell, acc] : shard) {
-      summary.stats[cell].Merge(acc);
-    }
-  }
   const double sim_seconds = SecondsSince(t0);
+
+  partial.nodes_simulated = 0;
+  for (std::size_t shard : subset) {
+    partial.nodes_simulated += plan.shards[shard].node_count();
+  }
+  partial.synth_seconds = synth_seconds;
+  partial.sim_seconds = sim_seconds;
 
   if (info != nullptr) {
     info->threads = options.pool != nullptr ? options.pool->thread_count() : 1;
-    info->shards = shard_count;
-    info->unique_traces = trace_count;
+    info->shards = subset.size();
+    info->unique_traces = needed.size();
     info->synth_seconds = synth_seconds;
     info->sim_seconds = sim_seconds;
+    info->trace_cache_hits = cache_hits.load();
+    info->trace_cache_misses = cache_misses.load();
+  }
+  return partial;
+}
+
+FleetSummary MergeFleetPartials(const ShardPlan& plan,
+                                const std::vector<FleetPartial>& partials) {
+  // Index every shard reduction by plan shard, rejecting foreign partials
+  // and duplicate coverage up front.
+  std::vector<const ShardCells*> by_shard(plan.shards.size(), nullptr);
+  for (const FleetPartial& partial : partials) {
+    SHEP_REQUIRE(partial.plan_fingerprint == plan.fingerprint,
+                 "partial belongs to a different plan (fingerprint "
+                 "mismatch): " + partial.scenario_name);
+    for (const ShardCells& shard : partial.shards) {
+      SHEP_REQUIRE(shard.shard < plan.shards.size(),
+                   "partial carries a shard index outside the plan");
+      SHEP_REQUIRE(by_shard[shard.shard] == nullptr,
+                   "shard covered by more than one partial: " +
+                       std::to_string(shard.shard));
+      by_shard[shard.shard] = &shard;
+    }
+  }
+  for (std::size_t i = 0; i < by_shard.size(); ++i) {
+    SHEP_REQUIRE(by_shard[i] != nullptr,
+                 "partials do not cover plan shard " + std::to_string(i));
+  }
+
+  // Fold in plan (shard-index) order: the sequence is independent of how
+  // shards were grouped into partials, which is what makes the merged
+  // summary bit-identical to the single-process run.
+  const ScenarioSpec& s = plan.matrix.spec;
+  FleetSummary summary;
+  summary.scenario_name = s.name;
+  summary.node_count = plan.matrix.nodes.size();
+  summary.days = s.days;
+  summary.slots_per_day = s.slots_per_day;
+  summary.cells = plan.matrix.cells;
+  summary.stats.assign(plan.matrix.cells.size(), CellAccumulator{});
+  for (const ShardCells* shard : by_shard) {
+    for (const auto& [cell, acc] : shard->cells) {
+      SHEP_REQUIRE(cell < summary.stats.size(),
+                   "partial carries a cell index outside the plan");
+      summary.stats[cell].Merge(acc);
+    }
   }
   return summary;
+}
+
+FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
+                      FleetRunInfo* info) {
+  const ShardPlan plan = BuildShardPlan(spec, options.shard_size);
+  std::vector<std::size_t> all(plan.shards.size());
+  std::iota(all.begin(), all.end(), 0);
+  // Not brace-init: initializer_list elements are const, so {std::move(p)}
+  // would silently deep-copy every accumulator of the run.
+  std::vector<FleetPartial> partials;
+  partials.push_back(RunFleetShards(plan, all, options, info));
+  return MergeFleetPartials(plan, partials);
 }
 
 }  // namespace shep

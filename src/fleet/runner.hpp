@@ -1,29 +1,40 @@
-// runner.hpp — sharded batch execution of a fleet scenario.
+// runner.hpp — the fleet execution pipeline: plan → partial(s) → merge.
 //
-// RunFleet expands a ScenarioSpec and simulates every node of the matrix in
-// two parallel phases:
+// A fleet run is three stages, each usable on its own so the work can be
+// split across processes or machines:
 //
-//  1. trace synthesis — the distinct weather replicas (one per
-//     site × replica lane, shared by all predictor/storage cells of the
-//     site) are synthesized and slotted once each;
-//  2. node simulation — nodes are partitioned into fixed-size shards; each
-//     shard runs its nodes' full SimulateNode loops and reduces them into
-//     private per-cell accumulators with no locking or sharing on the hot
-//     path.  The only synchronization is the ParallelFor join.
+//  1. BuildShardPlan (fleet/shard_plan) — deterministically decomposes the
+//     expanded scenario into fixed-size node shards and weather-trace
+//     lanes;
+//  2. RunFleetShards — executes ANY subset of the plan's shards: the
+//     subset's lanes are synthesized (or fetched from an optional
+//     TraceCache) and each shard reduces its nodes into private per-cell
+//     accumulators with no locking or sharing on the hot path.  The result
+//     is a FleetPartial whose text serialization can cross a process
+//     boundary exactly;
+//  3. MergeFleetPartials — folds partials covering the whole plan back
+//     into a FleetSummary, always in plan (shard-index) order.
 //
-// After the join the shard accumulators are merged in shard order.  Shard
-// boundaries depend only on (node count, shard_size) — never on which
-// thread ran a shard — so the resulting FleetSummary is bit-identical for
-// any thread count, including fully serial execution.  That invariant is
-// what tests/test_fleet.cpp pins and what lets future distributed runs
-// (shards on different machines) reproduce single-machine results.
+// Because shard boundaries depend only on (node count, shard_size), the
+// fold order never depends on scheduling, thread counts, or how shards
+// were grouped into partials — so a summary assembled from N serialized
+// partial runs is bit-identical to the single-process RunFleet, which is
+// itself just the three stages glued together.  That invariant is what
+// tests/test_fleet.cpp and tests/test_fleet_distributed.cpp pin and what
+// lets distributed runs (shards on different machines) reproduce
+// single-machine results.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <vector>
 
 #include "common/threadpool.hpp"
 #include "fleet/aggregate.hpp"
+#include "fleet/partial.hpp"
 #include "fleet/scenario.hpp"
+#include "fleet/shard_plan.hpp"
+#include "fleet/trace_cache.hpp"
 
 namespace shep {
 
@@ -33,21 +44,47 @@ struct FleetRunOptions {
   ThreadPool* pool = nullptr;
   /// Nodes per shard.  Small shards balance better, large shards amortize
   /// accumulator setup; the summary is identical either way as long as the
-  /// value itself is held fixed.
+  /// value itself is held fixed.  (Read by RunFleet when it builds the
+  /// plan; RunFleetShards takes the plan's value.)
   std::size_t shard_size = 8;
+  /// Optional shared weather-lane memo: campaigns that re-run overlapping
+  /// scenarios synthesize each lane once.  Results are bit-identical with
+  /// and without it; only phase-1 wall time changes.
+  TraceCache* trace_cache = nullptr;
 };
 
 /// Runtime metadata of one run; kept out of FleetSummary so summaries stay
 /// comparable across machines and thread counts.
 struct FleetRunInfo {
   std::size_t threads = 1;
-  std::size_t shards = 0;
-  std::size_t unique_traces = 0;
-  double synth_seconds = 0.0;  ///< phase 1 wall time.
-  double sim_seconds = 0.0;    ///< phase 2 wall time (including merge).
+  std::size_t shards = 0;         ///< shards executed by this run.
+  std::size_t unique_traces = 0;  ///< lanes this run's shards read.
+  double synth_seconds = 0.0;     ///< phase 1 wall time.
+  double sim_seconds = 0.0;       ///< phase 2 wall time (merge excluded —
+                                  ///< stage 3 may run in another process).
+  /// TraceCache counter deltas of this run (0 when no cache was given).
+  std::uint64_t trace_cache_hits = 0;
+  std::uint64_t trace_cache_misses = 0;
 };
 
-/// Expands and executes `spec`.  Deterministic in (spec, shard_size).
+/// Stage 2: executes the plan's shards listed in `shard_subset` (any
+/// order; duplicates rejected) and returns their reductions.  The partial
+/// is deterministic in (plan, shard_subset) — pool and cache only change
+/// wall time.
+FleetPartial RunFleetShards(const ShardPlan& plan,
+                            const std::vector<std::size_t>& shard_subset,
+                            const FleetRunOptions& options = {},
+                            FleetRunInfo* info = nullptr);
+
+/// Stage 3: folds partials that together cover the plan exactly once into
+/// the final summary, in plan order.  Throws std::invalid_argument when a
+/// partial's fingerprint disagrees with the plan or the partials miss or
+/// duplicate a shard.
+FleetSummary MergeFleetPartials(const ShardPlan& plan,
+                                const std::vector<FleetPartial>& partials);
+
+/// Single-process convenience: the three stages glued together.
+/// Deterministic in (spec, shard_size).
 FleetSummary RunFleet(const ScenarioSpec& spec,
                       const FleetRunOptions& options = {},
                       FleetRunInfo* info = nullptr);

@@ -142,15 +142,19 @@ ScenarioMatrix ExpandScenario(const ScenarioSpec& spec) {
   matrix.nodes.reserve(spec.node_count());
 
   // Disambiguate duplicate designs of the same kind so no two cells of a
-  // (site, storage) pair share a label.
+  // (site, storage) pair share a label.  EVERY member of a duplicated kind
+  // gets the "#<index>" suffix — leaving the first one bare would make the
+  // bare name ambiguous between "the first duplicate" and "a singleton".
   std::vector<std::string> labels(spec.predictors.size());
   for (std::size_t i = 0; i < spec.predictors.size(); ++i) {
+    std::size_t kind_uses = 0;
+    for (const PredictorSpec& p : spec.predictors) {
+      kind_uses += p.kind == spec.predictors[i].kind ? 1 : 0;
+    }
     labels[i] = spec.predictors[i].Label();
-    for (std::size_t j = 0; j < i; ++j) {
-      if (spec.predictors[j].kind == spec.predictors[i].kind) {
-        labels[i] = spec.predictors[i].Label() + "#" + std::to_string(i);
-        break;
-      }
+    if (kind_uses > 1) {
+      labels[i] += '#';
+      labels[i] += std::to_string(i);
     }
   }
 

@@ -1,0 +1,202 @@
+#include "fleet/shard_plan.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <sstream>
+
+#include "common/check.hpp"
+#include "fleet/aggregate.hpp"  // serdes helpers.
+
+namespace shep {
+
+namespace {
+
+/// FNV-1a 64-bit over the plan-identity fields.  Not cryptographic — it
+/// only has to make accidental cross-plan merges (different spec, seed, or
+/// shard size) fail loudly instead of silently producing garbage.
+class Fnv1a {
+ public:
+  void Mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      Byte(static_cast<unsigned char>(v >> (8 * i)));
+    }
+  }
+  void Mix(const std::string& s) {
+    Mix(static_cast<std::uint64_t>(s.size()));
+    for (char c : s) Byte(static_cast<unsigned char>(c));
+  }
+  void Mix(double v) { Mix(std::bit_cast<std::uint64_t>(v)); }
+  std::uint64_t value() const { return hash_; }
+
+ private:
+  void Byte(unsigned char b) {
+    hash_ ^= b;
+    hash_ *= 0x100000001B3ull;
+  }
+  std::uint64_t hash_ = 0xCBF29CE484222325ull;
+};
+
+}  // namespace
+
+ShardPlan BuildShardPlan(const ScenarioSpec& spec, std::size_t shard_size) {
+  SHEP_REQUIRE(shard_size >= 1, "shard_size must be >= 1");
+  ShardPlan plan;
+  plan.matrix = ExpandScenario(spec);  // validates the spec.
+  plan.shard_size = shard_size;
+  const ScenarioSpec& s = plan.matrix.spec;
+
+  const std::size_t node_count = plan.matrix.nodes.size();
+  const std::size_t shard_count = (node_count + shard_size - 1) / shard_size;
+  plan.shards.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    ShardRange range;
+    range.index = i;
+    range.begin_node = i * shard_size;
+    range.end_node = std::min(range.begin_node + shard_size, node_count);
+    plan.shards.push_back(range);
+  }
+
+  // Lanes are keyed (site, replica), laid out site-major; every node of a
+  // lane carries the same trace_seed (pinned by test_fleet), so reading it
+  // off any one of them is exact.
+  plan.lanes.resize(plan.matrix.trace_lane_count());
+  for (std::size_t l = 0; l < plan.lanes.size(); ++l) {
+    plan.lanes[l].lane = l;
+    plan.lanes[l].site_code = s.sites[l / s.nodes_per_cell];
+  }
+  for (const FleetNodeConfig& node : plan.matrix.nodes) {
+    plan.lanes[plan.matrix.trace_lane(node)].trace_seed = node.trace_seed;
+  }
+
+  // The fingerprint must cover EVERY spec field that changes simulation
+  // results, not just the matrix shape — two specs that differ only in a
+  // predictor parameter or a storage tier expand to identically-shaped
+  // matrices, and merging their partials must still fail loudly.
+  Fnv1a hash;
+  hash.Mix(s.name);
+  hash.Mix(s.seed);
+  hash.Mix(static_cast<std::uint64_t>(node_count));
+  hash.Mix(static_cast<std::uint64_t>(plan.matrix.cells.size()));
+  hash.Mix(static_cast<std::uint64_t>(shard_size));
+  hash.Mix(static_cast<std::uint64_t>(s.days));
+  hash.Mix(static_cast<std::uint64_t>(s.slots_per_day));
+  for (const PredictorSpec& p : s.predictors) {
+    hash.Mix(static_cast<std::uint64_t>(p.kind));
+    hash.Mix(p.wcma.alpha);
+    hash.Mix(static_cast<std::uint64_t>(p.wcma.days));
+    hash.Mix(static_cast<std::uint64_t>(p.wcma.slots_k));
+    hash.Mix(p.ewma_weight);
+    hash.Mix(static_cast<std::uint64_t>(p.ar.order));
+    hash.Mix(static_cast<std::uint64_t>(p.ar.days));
+    hash.Mix(p.ar.lambda);
+    hash.Mix(p.ar.delta);
+    hash.Mix(static_cast<std::uint64_t>(p.adaptive.alphas.size()));
+    for (double a : p.adaptive.alphas) hash.Mix(a);
+    hash.Mix(static_cast<std::uint64_t>(p.adaptive.ks.size()));
+    for (int k : p.adaptive.ks) hash.Mix(static_cast<std::uint64_t>(k));
+    hash.Mix(static_cast<std::uint64_t>(p.adaptive.days));
+    hash.Mix(p.adaptive.discount);
+  }
+  hash.Mix(static_cast<std::uint64_t>(s.storage_tiers_j.size()));
+  for (double tier : s.storage_tiers_j) hash.Mix(tier);
+  hash.Mix(s.node.duty.slot_seconds);
+  hash.Mix(s.node.duty.active_power_w);
+  hash.Mix(s.node.duty.sleep_power_w);
+  hash.Mix(s.node.duty.min_duty);
+  hash.Mix(s.node.duty.max_duty);
+  hash.Mix(s.node.duty.target_level_fraction);
+  hash.Mix(s.node.duty.level_gain);
+  hash.Mix(s.node.storage.capacity_j);
+  hash.Mix(s.node.storage.charge_efficiency);
+  hash.Mix(s.node.storage.leakage_w);
+  hash.Mix(s.node.initial_level_fraction);
+  hash.Mix(static_cast<std::uint64_t>(s.node.warmup_days));
+  hash.Mix(s.initial_level_jitter);
+  for (const TraceLanePlan& lane : plan.lanes) {
+    hash.Mix(lane.site_code);
+    hash.Mix(lane.trace_seed);
+  }
+  plan.fingerprint = hash.value();
+  return plan;
+}
+
+std::string ShardPlan::Describe() const {
+  const ScenarioSpec& s = matrix.spec;
+  SHEP_REQUIRE(s.name.find_first_of(" \t\n") == std::string::npos,
+               "scenario names must be whitespace-free to serialize");
+  std::ostringstream os;
+  os << "shep-shard-plan v1\n";
+  os << "scenario " << s.name << '\n';
+  os << "fingerprint " << fingerprint << '\n';
+  os << "nodes " << matrix.nodes.size() << " shard_size " << shard_size
+     << " days " << s.days << " slots_per_day " << s.slots_per_day << '\n';
+  os << "shards " << shards.size() << '\n';
+  for (const ShardRange& range : shards) {
+    os << "shard " << range.index << ' ' << range.begin_node << ' '
+       << range.end_node << '\n';
+  }
+  os << "lanes " << lanes.size() << '\n';
+  for (const TraceLanePlan& lane : lanes) {
+    os << "lane " << lane.lane << ' ' << lane.site_code << ' '
+       << lane.trace_seed << '\n';
+  }
+  return os.str();
+}
+
+ShardPlanLayout ParseShardPlanLayout(const std::string& text) {
+  std::istringstream is(text);
+  serdes::ExpectToken(is, "shep-shard-plan");
+  serdes::ExpectToken(is, "v1");
+  ShardPlanLayout layout;
+  serdes::ExpectToken(is, "scenario");
+  is >> layout.scenario_name;
+  SHEP_REQUIRE(!layout.scenario_name.empty(), "plan is missing its name");
+  serdes::ExpectToken(is, "fingerprint");
+  layout.fingerprint = serdes::ReadU64(is);
+  serdes::ExpectToken(is, "nodes");
+  layout.node_count = static_cast<std::size_t>(serdes::ReadU64(is));
+  serdes::ExpectToken(is, "shard_size");
+  layout.shard_size = static_cast<std::size_t>(serdes::ReadU64(is));
+  serdes::ExpectToken(is, "days");
+  layout.days = static_cast<std::size_t>(serdes::ReadU64(is));
+  serdes::ExpectToken(is, "slots_per_day");
+  layout.slots_per_day = static_cast<int>(serdes::ReadU64(is));
+
+  serdes::ExpectToken(is, "shards");
+  const std::uint64_t shard_count = serdes::ReadU64(is);
+  layout.shards.reserve(shard_count);
+  std::size_t covered = 0;  // ranges must tile [0, node_count) exactly.
+  for (std::uint64_t i = 0; i < shard_count; ++i) {
+    serdes::ExpectToken(is, "shard");
+    ShardRange range;
+    range.index = static_cast<std::size_t>(serdes::ReadU64(is));
+    range.begin_node = static_cast<std::size_t>(serdes::ReadU64(is));
+    range.end_node = static_cast<std::size_t>(serdes::ReadU64(is));
+    SHEP_REQUIRE(range.index == i && range.begin_node == covered &&
+                     range.begin_node < range.end_node &&
+                     range.end_node <= layout.node_count,
+                 "malformed shard range in plan: ranges must tile the node "
+                 "list without gaps or overlap");
+    covered = range.end_node;
+    layout.shards.push_back(range);
+  }
+  SHEP_REQUIRE(covered == layout.node_count,
+               "plan shard ranges do not cover every node");
+
+  serdes::ExpectToken(is, "lanes");
+  const std::uint64_t lane_count = serdes::ReadU64(is);
+  layout.lanes.reserve(lane_count);
+  for (std::uint64_t i = 0; i < lane_count; ++i) {
+    serdes::ExpectToken(is, "lane");
+    TraceLanePlan lane;
+    lane.lane = static_cast<std::size_t>(serdes::ReadU64(is));
+    is >> lane.site_code;
+    lane.trace_seed = serdes::ReadU64(is);
+    SHEP_REQUIRE(lane.lane == i && !lane.site_code.empty(),
+                 "malformed trace lane in plan");
+    layout.lanes.push_back(lane);
+  }
+  return layout;
+}
+
+}  // namespace shep

@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
 #include <set>
 
 #include "common/threadpool.hpp"
@@ -110,8 +112,13 @@ TEST(ScenarioMatrix, DuplicateKindsGetDistinctLabels) {
           << "duplicate label " << cell.predictor_label;
     }
   }
-  EXPECT_EQ(labels.count("WCMA"), 1u);
+  // EVERY member of the duplicated kind is suffixed — a bare "WCMA" would
+  // be ambiguous between "the first duplicate" and "a singleton design".
+  EXPECT_EQ(labels.count("WCMA"), 0u);
+  EXPECT_EQ(labels.count("WCMA#0"), 1u);
   EXPECT_EQ(labels.count("WCMA#2"), 1u);
+  // The non-duplicated kind keeps its bare name.
+  EXPECT_EQ(labels.count("Persistence"), 1u);
 }
 
 TEST(ScenarioMatrix, ValidatesSpec) {
@@ -277,6 +284,31 @@ TEST(FixedHistogram, QuantilesAndMerge) {
   EXPECT_EQ(clamped.total(), 2u);
   EXPECT_EQ(clamped.bins().front(), 1u);
   EXPECT_EQ(clamped.bins().back(), 1u);
+}
+
+// Regression: a NaN sample used to flow through std::clamp (unordered ⇒
+// clamp is a no-op) and be cast to std::size_t — undefined behaviour.  It
+// must land in the dedicated NaN tally, leaving bins and quantiles alone.
+TEST(FixedHistogram, NanSamplesCountSeparately) {
+  FixedHistogram h(0.0, 1.0, 10);
+  h.Add(0.25);
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  h.Add(0.75);
+  EXPECT_EQ(h.total(), 2u);
+  EXPECT_EQ(h.nan_count(), 1u);
+  std::uint64_t binned = 0;
+  for (std::uint64_t b : h.bins()) binned += b;
+  EXPECT_EQ(binned, 2u);  // no bin was corrupted by the NaN.
+  // Quantiles see only the real mass.
+  EXPECT_GT(h.Quantile(0.5), 0.0);
+
+  // The NaN tally merges like the bins do.
+  FixedHistogram other(0.0, 1.0, 10);
+  other.Add(std::numeric_limits<double>::quiet_NaN());
+  other.Add(0.5);
+  h.Merge(other);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.nan_count(), 2u);
 }
 
 TEST(CellAccumulator, MergeMatchesSequentialAdd) {

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace shep {
@@ -61,6 +64,80 @@ TEST(ParallelFor, ZeroCountIsNoop) {
   ThreadPool pool(2);
   ParallelFor(&pool, 0, [](std::size_t) { FAIL(); });
   SUCCEED();
+}
+
+// Regression: a throwing body used to escape WorkerLoop and
+// std::terminate the process (and leak in_flight_, wedging Wait forever).
+// The first exception of the batch must surface at the join instead, and
+// the pool must stay fully usable afterwards.
+TEST(ParallelFor, RethrowsTaskExceptionAtJoin) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(
+      ParallelFor(&pool, 100,
+                  [&ran](std::size_t i) {
+                    ran.fetch_add(1);
+                    if (i == 37) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+  // Iterations claimed after the failure are abandoned, never half-run.
+  EXPECT_LE(ran.load(), 100);
+
+  // The pool is not wedged: a fresh batch and a global Wait both complete.
+  std::atomic<int> after{0};
+  ParallelFor(&pool, 50, [&after](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 50);
+  pool.Wait();
+}
+
+// The serial (inline) path propagates exceptions the same way.
+TEST(ParallelFor, RethrowsTaskExceptionInline) {
+  std::atomic<int> ran{0};
+  EXPECT_THROW(ParallelFor(nullptr, 10,
+                           [&ran](std::size_t i) {
+                             ran.fetch_add(1);
+                             if (i == 3) throw std::logic_error("inline");
+                           }),
+               std::logic_error);
+  EXPECT_EQ(ran.load(), 4);  // inline execution stops at the throw.
+}
+
+// Regression: ParallelFor used to join through the pool-global in_flight_
+// counter, so two concurrent batches each waited for the OTHER's tasks
+// too.  Here batch A's iterations only finish after batch B's join has
+// returned — under the old global join that is a deadlock (B's join waits
+// for A's tasks, A's tasks wait for B's join); with per-batch counters it
+// completes.
+TEST(ParallelFor, OverlappingBatchesJoinIndependently) {
+  ThreadPool pool(4);
+  std::atomic<int> a_started{0};
+  std::atomic<bool> release_a{false};
+  std::atomic<int> a_done{0};
+
+  std::thread runner_a([&] {
+    ParallelFor(&pool, 2, [&](std::size_t) {
+      a_started.fetch_add(1);
+      while (!release_a.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      a_done.fetch_add(1);
+    });
+  });
+
+  // Wait until batch A genuinely occupies two workers.
+  while (a_started.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Batch B must come and go while A is still in flight.
+  std::atomic<int> b_done{0};
+  ParallelFor(&pool, 2, [&b_done](std::size_t) { b_done.fetch_add(1); });
+  EXPECT_EQ(b_done.load(), 2);
+  EXPECT_EQ(a_done.load(), 0);  // A is provably still running at B's join.
+
+  release_a.store(true);
+  runner_a.join();
+  EXPECT_EQ(a_done.load(), 2);
 }
 
 TEST(ParallelFor, ResultsMatchSerialExecution) {
