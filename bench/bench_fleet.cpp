@@ -1,27 +1,86 @@
-// bench_fleet — fleet-runner throughput, emitted as timing JSON.
+// bench_fleet — fleet-runner throughput, emitted as timing JSON, with a
+// regression gate.
 //
 // Runs the same scenario serially and on a full thread pool and reports
-// wall times, node throughput, and the parallel speedup as a single JSON
-// object on stdout, so CI can archive the file (BENCH_fleet.json) and the
-// perf trajectory of the batch layer is tracked across PRs.  A standalone
-// main rather than a google-benchmark binary: the measured region is
-// seconds long, needs no statistical replication framework, and this way
-// the target exists even where google-benchmark is not installed.
+// per-stage wall times (weather synthesis vs node simulation), per-stage
+// throughput, and the parallel speedup as a single JSON object on stdout,
+// so CI can archive the file (BENCH_fleet.json) and the perf trajectory of
+// the batch layer is tracked across PRs.  A standalone main rather than a
+// google-benchmark binary: the measured region is seconds long, needs no
+// statistical replication framework, and this way the target exists even
+// where google-benchmark is not installed.
 //
-// Usage: bench_fleet [--fast]     (--fast shrinks the fleet for CI)
+// Usage: bench_fleet [--fast] [--compare BASELINE.json] [--threshold PCT]
+//
+//   --fast            shrinks the fleet for CI.
+//   --compare FILE    after measuring, gates against the baseline JSON:
+//                     exits 1 when nodes_per_second regressed by more than
+//                     the threshold (default 15 %).  Baselines from a
+//                     different workload are rejected outright; baselines
+//                     from a different machine class (thread-count
+//                     mismatch) downgrade the gate to advisory — deltas
+//                     reported, exit 0 — until the baseline is refreshed.
+//                     The fresh JSON still goes to stdout first, so CI can
+//                     archive it and the next PR's trajectory continues
+//                     even when the gate trips.  Comparison goes to stderr.
+//   --threshold PCT   regression tolerance for --compare, in percent.
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "common/threadpool.hpp"
 #include "fleet/runner.hpp"
 #include "fleet/trace_cache.hpp"
 
+namespace {
+
+/// Minimal extraction of `"key": <number>` from a flat JSON object — all
+/// bench_fleet ever writes.  Returns false when the key is absent.
+bool ExtractJsonNumber(const std::string& json, const std::string& key,
+                       double* out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  const char* start = json.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double value = std::strtod(start, &end);
+  if (end == start) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace shep;
 
-  const bool fast =
-      argc > 1 && std::strcmp(argv[1], "--fast") == 0;
+  bool fast = false;
+  std::string compare_path;
+  double threshold_pct = 15.0;
+  for (int a = 1; a < argc; ++a) {
+    if (std::strcmp(argv[a], "--fast") == 0) {
+      fast = true;
+    } else if (std::strcmp(argv[a], "--compare") == 0 && a + 1 < argc) {
+      compare_path = argv[++a];
+    } else if (std::strcmp(argv[a], "--threshold") == 0 && a + 1 < argc) {
+      const char* arg = argv[++a];
+      char* end = nullptr;
+      threshold_pct = std::strtod(arg, &end);
+      if (end == arg || *end != '\0' || !(threshold_pct >= 0.0) ||
+          threshold_pct >= 100.0) {
+        std::cerr << "bench_fleet: --threshold wants a percentage in "
+                     "[0, 100), got \"" << arg << "\"\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "usage: bench_fleet [--fast] [--compare BASELINE.json]"
+                   " [--threshold PCT]\n";
+      return 2;
+    }
+  }
 
   ScenarioSpec spec;
   spec.name = fast ? "bench_fleet_fast" : "bench_fleet";
@@ -113,37 +172,135 @@ int main(int argc, char** argv) {
   const double parallel_s =
       parallel_info.synth_seconds + parallel_info.sim_seconds;
   const auto nodes = static_cast<double>(serial.node_count);
-  std::cout.precision(6);
-  std::cout << "{\n"
-            << "  \"bench\": \"fleet\",\n"
-            << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n"
-            << "  \"nodes\": " << serial.node_count << ",\n"
-            << "  \"cells\": " << serial.cells.size() << ",\n"
-            << "  \"days\": " << spec.days << ",\n"
-            << "  \"unique_traces\": " << parallel_info.unique_traces << ",\n"
-            << "  \"shards\": " << parallel_info.shards << ",\n"
-            << "  \"threads\": " << parallel_info.threads << ",\n"
-            << "  \"serial_seconds\": " << serial_s << ",\n"
-            << "  \"serial_synth_seconds\": " << serial_info.synth_seconds
-            << ",\n"
-            << "  \"serial_sim_seconds\": " << serial_info.sim_seconds
-            << ",\n"
-            << "  \"parallel_seconds\": " << parallel_s << ",\n"
-            << "  \"parallel_synth_seconds\": " << parallel_info.synth_seconds
-            << ",\n"
-            << "  \"parallel_sim_seconds\": " << parallel_info.sim_seconds
-            << ",\n"
-            << "  \"speedup\": " << (parallel_s > 0.0 ? serial_s / parallel_s
-                                                      : 0.0)
-            << ",\n"
-            << "  \"nodes_per_second\": "
-            << (parallel_s > 0.0 ? nodes / parallel_s : 0.0) << ",\n"
-            << "  \"cache_cold_synth_seconds\": " << cold_info.synth_seconds
-            << ",\n"
-            << "  \"cache_warm_synth_seconds\": " << warm_info.synth_seconds
-            << ",\n"
-            << "  \"cache_hits\": " << warm_info.trace_cache_hits << ",\n"
-            << "  \"cache_misses\": " << cold_info.trace_cache_misses << "\n"
-            << "}\n";
+  // Per-stage throughput: lane-days/s for phase 1 (its work unit is one
+  // synthesized day of one weather lane), nodes/s for phase 2.
+  const double lane_days =
+      static_cast<double>(parallel_info.unique_traces * spec.days);
+  const double nodes_per_second =
+      parallel_s > 0.0 ? nodes / parallel_s : 0.0;
+  auto rate = [](double units, double seconds) {
+    return seconds > 0.0 ? units / seconds : 0.0;
+  };
+  std::ostringstream json;
+  json.precision(6);
+  json << "{\n"
+       << "  \"bench\": \"fleet\",\n"
+       << "  \"mode\": \"" << (fast ? "fast" : "full") << "\",\n"
+       << "  \"nodes\": " << serial.node_count << ",\n"
+       << "  \"cells\": " << serial.cells.size() << ",\n"
+       << "  \"days\": " << spec.days << ",\n"
+       << "  \"unique_traces\": " << parallel_info.unique_traces << ",\n"
+       << "  \"shards\": " << parallel_info.shards << ",\n"
+       << "  \"threads\": " << parallel_info.threads << ",\n"
+       << "  \"serial_seconds\": " << serial_s << ",\n"
+       << "  \"serial_synth_seconds\": " << serial_info.synth_seconds << ",\n"
+       << "  \"serial_sim_seconds\": " << serial_info.sim_seconds << ",\n"
+       << "  \"serial_nodes_per_second\": " << rate(nodes, serial_s) << ",\n"
+       << "  \"serial_synth_lane_days_per_second\": "
+       << rate(lane_days, serial_info.synth_seconds) << ",\n"
+       << "  \"serial_sim_nodes_per_second\": "
+       << rate(nodes, serial_info.sim_seconds) << ",\n"
+       << "  \"parallel_seconds\": " << parallel_s << ",\n"
+       << "  \"parallel_synth_seconds\": " << parallel_info.synth_seconds
+       << ",\n"
+       << "  \"parallel_sim_seconds\": " << parallel_info.sim_seconds << ",\n"
+       << "  \"parallel_synth_lane_days_per_second\": "
+       << rate(lane_days, parallel_info.synth_seconds) << ",\n"
+       << "  \"parallel_sim_nodes_per_second\": "
+       << rate(nodes, parallel_info.sim_seconds) << ",\n"
+       << "  \"speedup\": " << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
+       << ",\n"
+       << "  \"nodes_per_second\": " << nodes_per_second << ",\n"
+       << "  \"cache_cold_synth_seconds\": " << cold_info.synth_seconds
+       << ",\n"
+       << "  \"cache_warm_synth_seconds\": " << warm_info.synth_seconds
+       << ",\n"
+       << "  \"cache_hits\": " << warm_info.trace_cache_hits << ",\n"
+       << "  \"cache_misses\": " << cold_info.trace_cache_misses << "\n"
+       << "}\n";
+  std::cout << json.str();
+
+  if (compare_path.empty()) return 0;
+
+  // ---- Regression gate -----------------------------------------------------
+  // The fresh JSON is already on stdout: a tripped gate fails the build but
+  // never hides the measurement that tripped it.
+  std::ifstream baseline_file(compare_path);
+  if (!baseline_file) {
+    std::cerr << "FATAL: cannot read baseline " << compare_path << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << baseline_file.rdbuf();
+  const std::string baseline = buffer.str();
+
+  double base_nps = 0.0;
+  if (!ExtractJsonNumber(baseline, "nodes_per_second", &base_nps) ||
+      base_nps <= 0.0) {
+    std::cerr << "FATAL: baseline " << compare_path
+              << " has no usable nodes_per_second\n";
+    return 1;
+  }
+  // The gate only means something when both sides measured the same
+  // workload: a fast-mode run compared against a full-mode baseline (or a
+  // baseline from a differently shaped scenario) would trip or pass on
+  // the workload difference, not a regression.
+  for (const char* key : {"nodes", "cells", "days"}) {
+    double base_value = 0.0;
+    double current = 0.0;
+    if (!ExtractJsonNumber(baseline, key, &base_value) ||
+        !ExtractJsonNumber(json.str(), key, &current) ||
+        base_value != current) {
+      std::cerr << "FATAL: baseline " << compare_path << " measured \"" << key
+                << "\" = " << base_value << " but this run measured "
+                << current << " — different workloads are not comparable "
+                << "(fast vs full mode?)\n";
+      return 1;
+    }
+  }
+  // A thread-count mismatch means the baseline came from different
+  // hardware, and a wall-clock threshold across machines measures the
+  // hardware change, not the code: the comparison downgrades to advisory
+  // (deltas still printed, exit 0) until the baseline is refreshed from
+  // this machine class — the README recommends committing the CI artifact
+  // of a green run, after which thread counts match and the gate arms.
+  bool advisory = false;
+  {
+    double base_threads = 0.0;
+    if (ExtractJsonNumber(baseline, "threads", &base_threads) &&
+        base_threads != static_cast<double>(parallel_info.threads)) {
+      advisory = true;
+      std::cerr << "compare: WARNING baseline used " << base_threads
+                << " thread(s), this run used " << parallel_info.threads
+                << " — cross-machine comparison, reporting deltas without "
+                << "gating; refresh the baseline from this machine class\n";
+    }
+  }
+  // Context lines (informational): how each stage moved.
+  for (const char* key :
+       {"serial_synth_seconds", "serial_sim_seconds", "parallel_seconds"}) {
+    double base_value = 0.0;
+    double current = 0.0;
+    if (ExtractJsonNumber(baseline, key, &base_value) &&
+        ExtractJsonNumber(json.str(), key, &current) && base_value > 0.0) {
+      std::cerr << "compare: " << key << " " << base_value << " -> "
+                << current << " (" << (100.0 * current / base_value - 100.0)
+                << " %)\n";
+    }
+  }
+  const double change_pct = 100.0 * nodes_per_second / base_nps - 100.0;
+  std::cerr << "compare: nodes_per_second " << base_nps << " -> "
+            << nodes_per_second << " (" << change_pct << " %), threshold -"
+            << threshold_pct << " %\n";
+  if (nodes_per_second < base_nps * (1.0 - threshold_pct / 100.0)) {
+    if (advisory) {
+      std::cerr << "compare: below threshold, but ADVISORY only "
+                   "(cross-machine baseline)\n";
+      return 0;
+    }
+    std::cerr << "FATAL: nodes_per_second regressed beyond the threshold\n";
+    return 1;
+  }
+  std::cerr << "compare: PASS\n";
   return 0;
 }

@@ -48,4 +48,6 @@ bool ApproxEqual(double a, double b, double rel_tol, double abs_tol) {
 
 long long RoundToLL(double x) { return static_cast<long long>(std::llround(x)); }
 
+double WelfordMoments::stddev() const { return std::sqrt(variance()); }
+
 }  // namespace shep

@@ -13,58 +13,9 @@ std::uint64_t SplitMix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
-namespace {
-inline std::uint64_t Rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = SplitMix64(sm);
-}
-
-std::uint64_t Rng::NextU64() {
-  const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::NextDouble() {
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) {
-  SHEP_REQUIRE(lo <= hi, "Uniform bounds must be ordered");
-  return lo + (hi - lo) * NextDouble();
-}
-
-double Rng::NextGaussian() {
-  if (has_spare_) {
-    has_spare_ = false;
-    return spare_;
-  }
-  double u = 0.0, v = 0.0, s = 0.0;
-  do {
-    u = 2.0 * NextDouble() - 1.0;
-    v = 2.0 * NextDouble() - 1.0;
-    s = u * u + v * v;
-  } while (s >= 1.0 || s == 0.0);
-  const double mul = std::sqrt(-2.0 * std::log(s) / s);
-  spare_ = v * mul;
-  has_spare_ = true;
-  return u * mul;
-}
-
-double Rng::Gaussian(double mean, double sigma) {
-  SHEP_REQUIRE(sigma >= 0.0, "Gaussian sigma must be non-negative");
-  return mean + sigma * NextGaussian();
 }
 
 std::uint64_t Rng::NextBelow(std::uint64_t n) {

@@ -9,7 +9,10 @@
 // brittle.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+
+#include "common/check.hpp"
 
 namespace shep {
 
@@ -17,6 +20,13 @@ namespace shep {
 std::uint64_t SplitMix64(std::uint64_t& state);
 
 /// xoshiro256** PRNG.  Deterministic, copyable, cheap (4 x uint64 state).
+///
+/// The draw-path methods (NextU64 through Gaussian) are defined inline in
+/// this header: the weather synthesizer consumes thousands of draws per
+/// simulated day, and an out-of-line call per draw is measurable on the
+/// fleet hot path.  The draw SEQUENCE is part of the library's
+/// reproducibility contract — optimizations may move these definitions but
+/// never change the values they produce.
 class Rng {
  public:
   /// Seeds the four state words via splitmix64 so that any seed (including
@@ -24,19 +34,52 @@ class Rng {
   explicit Rng(std::uint64_t seed = 0xD1CEu);
 
   /// Next raw 64 random bits.
-  std::uint64_t NextU64();
+  std::uint64_t NextU64() {
+    const std::uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform double in [0, 1) with 53 bits of precision.
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Uniform double in [lo, hi).  Requires lo <= hi.
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) {
+    SHEP_REQUIRE(lo <= hi, "Uniform bounds must be ordered");
+    return lo + (hi - lo) * NextDouble();
+  }
 
   /// Standard normal variate (Marsaglia polar method, cached spare).
-  double NextGaussian();
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u = 0.0, v = 0.0, s = 0.0;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    has_spare_ = true;
+    return u * mul;
+  }
 
   /// Normal variate with the given mean and standard deviation (sigma >= 0).
-  double Gaussian(double mean, double sigma);
+  double Gaussian(double mean, double sigma) {
+    SHEP_REQUIRE(sigma >= 0.0, "Gaussian sigma must be non-negative");
+    return mean + sigma * NextGaussian();
+  }
 
   /// Uniform integer in [0, n).  Requires n > 0.  Uses rejection sampling to
   /// avoid modulo bias.
@@ -52,6 +95,10 @@ class Rng {
   Rng Fork(std::uint64_t stream) const;
 
  private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double spare_ = 0.0;
   bool has_spare_ = false;

@@ -1,5 +1,6 @@
 #include "common/threadpool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -82,25 +83,40 @@ struct BatchState {
 
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn) {
+  ParallelForWorker(pool, count,
+                    [&fn](std::size_t /*worker*/, std::size_t i) { fn(i); });
+}
+
+std::size_t ParallelWorkerCount(const ThreadPool* pool, std::size_t count) {
+  if (pool == nullptr || pool->thread_count() <= 1 || count <= 1) return 1;
+  return std::min(pool->thread_count(), count);
+}
+
+void ParallelForWorker(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t i)>& fn) {
   if (pool == nullptr || pool->thread_count() <= 1 || count <= 1) {
     // Inline execution throws straight through to the caller already.
-    for (std::size_t i = 0; i < count; ++i) fn(i);
+    for (std::size_t i = 0; i < count; ++i) fn(0, i);
     return;
   }
   // Chunk by a shared atomic cursor: cheap and balances uneven iteration
-  // costs (small-N sweeps finish much faster than N=288 ones).
+  // costs (small-N sweeps finish much faster than N=288 ones).  Each of the
+  // `workers` submitted tasks is one batch worker; its loop runs on one
+  // pool thread, so iterations sharing a worker id are fully serialized —
+  // the contract that lets callers give each id private scratch.
   auto batch = std::make_shared<BatchState>();
-  const std::size_t workers = std::min(pool->thread_count(), count);
+  const std::size_t workers = ParallelWorkerCount(pool, count);
   batch->pending_workers = workers;
   for (std::size_t w = 0; w < workers; ++w) {
     // fn is captured by reference: ParallelFor blocks until the batch has
     // fully retired, so the referent outlives every worker task.
-    pool->Submit([batch, count, &fn] {
+    pool->Submit([batch, count, w, &fn] {
       while (!batch->failed.load(std::memory_order_relaxed)) {
         const std::size_t i = batch->cursor.fetch_add(1);
         if (i >= count) break;
         try {
-          fn(i);
+          fn(w, i);
         } catch (...) {
           std::lock_guard<std::mutex> lock(batch->mutex);
           if (batch->first_error == nullptr) {

@@ -64,4 +64,20 @@ class ThreadPool {
 void ParallelFor(ThreadPool* pool, std::size_t count,
                  const std::function<void(std::size_t)>& fn);
 
+/// Number of batch workers a ParallelFor over `count` iterations uses on
+/// `pool`: the size of the dense worker-id range ParallelForWorker passes
+/// to its callback, and therefore the number of per-worker scratch slots a
+/// caller must provide.
+std::size_t ParallelWorkerCount(const ThreadPool* pool, std::size_t count);
+
+/// ParallelFor variant whose callback additionally receives the dense id
+/// in [0, ParallelWorkerCount(pool, count)) of the batch worker running
+/// the iteration.  No two iterations with the same worker id ever run
+/// concurrently, so the id can index unsynchronized per-worker scratch
+/// (reusable buffers, local accumulators).  The id must not influence
+/// results — only where intermediate state lives.
+void ParallelForWorker(
+    ThreadPool* pool, std::size_t count,
+    const std::function<void(std::size_t worker, std::size_t i)>& fn);
+
 }  // namespace shep

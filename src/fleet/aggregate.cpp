@@ -73,10 +73,7 @@ void StreamingMoments::Add(double x) {
     min = std::min(min, x);
     max = std::max(max, x);
   }
-  ++count;
-  const double delta = x - mean;
-  mean += delta / static_cast<double>(count);
-  m2 += delta * (x - mean);
+  WelfordMoments::Add(x);
 }
 
 void StreamingMoments::Merge(const StreamingMoments& other) {
@@ -98,13 +95,6 @@ void StreamingMoments::Merge(const StreamingMoments& other) {
   max = std::max(max, other.max);
 }
 
-double StreamingMoments::variance() const {
-  if (count < 2) return 0.0;
-  return std::max(0.0, m2 / static_cast<double>(count));
-}
-
-double StreamingMoments::stddev() const { return std::sqrt(variance()); }
-
 void StreamingMoments::Serialize(std::ostream& os) const {
   os << "moments " << count << ' ';
   serdes::WriteDouble(os, mean);
@@ -123,6 +113,12 @@ StreamingMoments StreamingMoments::Deserialize(std::istream& is) {
   m.count = static_cast<std::size_t>(serdes::ReadU64(is));
   m.mean = serdes::ReadDouble(is);
   m.m2 = serdes::ReadDouble(is);
+  // Add/Merge can only produce m2 >= 0 (WelfordMoments relies on that to
+  // skip clamping in variance()); a negative value here is a corrupted or
+  // mis-produced partial and would surface as NaN stddevs downstream, so
+  // reject it at the process boundary like any other malformed token.
+  SHEP_REQUIRE(m.m2 >= 0.0,
+               "moments m2 must be non-negative in a serialized partial");
   m.min = serdes::ReadDouble(is);
   m.max = serdes::ReadDouble(is);
   return m;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "common/mathutil.hpp"
 #include "fleet/scenario.hpp"
 #include "mgmt/node_sim.hpp"
 
@@ -43,11 +44,11 @@ void ExpectToken(std::istream& is, const std::string& keyword);
 
 }  // namespace serdes
 
-/// Single-pass count/mean/variance/extrema accumulator (Welford).
-struct StreamingMoments {
-  std::size_t count = 0;
-  double mean = 0.0;
-  double m2 = 0.0;  ///< sum of squared deviations from the running mean.
+/// Single-pass count/mean/variance/extrema accumulator: the shared
+/// Welford core (common/mathutil.hpp — one implementation of the
+/// numerically delicate recurrence in the tree) extended with extrema
+/// tracking, cross-shard merging, and bit-exact serialization.
+struct StreamingMoments : WelfordMoments {
   double min = 0.0;
   double max = 0.0;
 
@@ -55,8 +56,6 @@ struct StreamingMoments {
   void Merge(const StreamingMoments& other);
 
   bool valid() const { return count > 0; }
-  double variance() const;  ///< population variance; 0 when count < 2.
-  double stddev() const;
 
   /// Single-line text form; doubles rendered as hexfloats so the
   /// deserialized value is BIT-identical (the distributed merge path

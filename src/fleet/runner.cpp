@@ -9,7 +9,12 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/ar.hpp"
+#include "core/ewma.hpp"
+#include "core/wcma.hpp"
+#include "hw/costed_fixed.hpp"
 #include "mgmt/node_sim.hpp"
+#include "mgmt/node_sim_kernel.hpp"
 #include "solar/sites.hpp"
 #include "solar/synth.hpp"
 #include "timeseries/slotting.hpp"
@@ -25,6 +30,37 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 }  // namespace
+
+NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
+                               const SlotSeries& series,
+                               const NodeSimConfig& config) {
+  // The hot fleet kinds get a stack-constructed concrete predictor and the
+  // statically dispatched kernel; anything else takes the generic path.
+  // Every branch reproduces PredictorSpec::Make's construction exactly, so
+  // both paths are bit-identical.
+  switch (spec.kind) {
+    case PredictorKind::kWcma: {
+      Wcma predictor(spec.wcma, slots_per_day);
+      return SimulateNodeKernel(predictor, series, config);
+    }
+    case PredictorKind::kWcmaFixed: {
+      CostedFixedWcma predictor(spec.wcma, slots_per_day);
+      return SimulateNodeKernel(predictor, series, config);
+    }
+    case PredictorKind::kEwma: {
+      Ewma predictor(spec.ewma_weight, slots_per_day);
+      return SimulateNodeKernel(predictor, series, config);
+    }
+    case PredictorKind::kAr: {
+      ArPredictor predictor(spec.ar, slots_per_day);
+      return SimulateNodeKernel(predictor, series, config);
+    }
+    default: {
+      const auto predictor = spec.Make(slots_per_day);
+      return SimulateNode(*predictor, series, config);
+    }
+  }
+}
 
 FleetPartial RunFleetShards(const ShardPlan& plan,
                             const std::vector<std::size_t>& shard_subset,
@@ -67,13 +103,21 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
   // show up in each other's deltas.
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  // One synthesis scratch per batch worker: lanes sharing a worker id run
+  // serialized, so each slot's buffers are reused race-free across every
+  // lane (and day) that worker synthesizes.  Scratch placement never
+  // affects values, only allocation traffic.
+  std::vector<SynthScratch> scratch(
+      ParallelWorkerCount(options.pool, needed.size()));
   auto t0 = std::chrono::steady_clock::now();
-  ParallelFor(options.pool, needed.size(), [&](std::size_t n) {
+  ParallelForWorker(options.pool, needed.size(),
+                    [&](std::size_t worker, std::size_t n) {
     const TraceLanePlan& lane = plan.lanes[needed[n]];
     if (options.trace_cache != nullptr) {
       bool hit = false;
       series[lane.lane] = options.trace_cache->Get(
-          lane.site_code, lane.trace_seed, s.days, s.slots_per_day, &hit);
+          lane.site_code, lane.trace_seed, s.days, s.slots_per_day, &hit,
+          &scratch[worker]);
       (hit ? cache_hits : cache_misses).fetch_add(1,
                                                   std::memory_order_relaxed);
       return;
@@ -82,7 +126,8 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
     synth.days = s.days;
     synth.seed_offset = lane.trace_seed;
     series[lane.lane] = std::make_shared<const SlotSeries>(
-        SynthesizeTrace(SiteByCode(lane.site_code), synth), s.slots_per_day);
+        SynthesizeTrace(SiteByCode(lane.site_code), synth, scratch[worker]),
+        s.slots_per_day);
   });
   const double synth_seconds = SecondsSince(t0);
 
@@ -111,10 +156,9 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
       config.storage.capacity_j = cell.storage_j;
       config.initial_level_fraction = node.initial_level_fraction;
 
-      const auto predictor =
-          s.predictors[cell.predictor_index].Make(s.slots_per_day);
       const NodeSimResult result =
-          SimulateNode(*predictor, *series[lane], config);
+          SimulateSpecNode(s.predictors[cell.predictor_index],
+                           s.slots_per_day, *series[lane], config);
 
       if (local.cells.empty() || local.cells.back().first != node.cell) {
         local.cells.emplace_back(node.cell, CellAccumulator{});

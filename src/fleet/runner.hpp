@@ -76,6 +76,17 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
                             const FleetRunOptions& options = {},
                             FleetRunInfo* info = nullptr);
 
+/// Simulates one node of a cell: instantiates `spec` and runs it over
+/// `series` through the static-dispatch kernel (mgmt/node_sim_kernel.hpp)
+/// when the kind is one of the hot fleet predictors (WCMA, FixedWCMA,
+/// EWMA, AR) — no per-slot virtual calls, no per-run dynamic_cast, no heap
+/// allocation for the predictor — and falls back to PredictorSpec::Make +
+/// the virtual SimulateNode for every other kind.  Bit-identical to the
+/// virtual path for all kinds (pinned by tests/test_node_kernel.cpp).
+NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
+                               const SlotSeries& series,
+                               const NodeSimConfig& config);
+
 /// Stage 3: folds partials that together cover the plan exactly once into
 /// the final summary, in plan order.  Throws std::invalid_argument when a
 /// partial's fingerprint disagrees with the plan or the partials miss or

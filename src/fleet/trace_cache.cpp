@@ -11,7 +11,8 @@ std::shared_ptr<const SlotSeries> TraceCache::Get(const std::string& site_code,
                                                   std::uint64_t trace_seed,
                                                   std::size_t days,
                                                   int slots_per_day,
-                                                  bool* was_hit) {
+                                                  bool* was_hit,
+                                                  SynthScratch* scratch) {
   Key key{site_code, trace_seed, days, slots_per_day};
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -26,12 +27,17 @@ std::shared_ptr<const SlotSeries> TraceCache::Get(const std::string& site_code,
 
   // Miss: synthesize without holding the lock (seconds of work on long
   // horizons; blocking every other lane lookup would serialize phase 1).
+  // The caller's scratch (if any) supplies the per-day buffers; results
+  // are bit-identical either way.
   const SiteProfile& site = SiteByCode(site_code);
   SynthOptions synth;
   synth.days = days;
   synth.seed_offset = trace_seed;
+  SynthScratch local_scratch;
   auto series = std::make_shared<const SlotSeries>(
-      SynthesizeTrace(site, synth), slots_per_day);
+      SynthesizeTrace(site, synth,
+                      scratch != nullptr ? *scratch : local_scratch),
+      slots_per_day);
 
   std::lock_guard<std::mutex> lock(mutex_);
   ++misses_;

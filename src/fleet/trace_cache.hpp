@@ -32,6 +32,8 @@
 
 namespace shep {
 
+struct SynthScratch;
+
 /// Thread-safe memo of synthesized + slotted weather lanes.
 class TraceCache {
  public:
@@ -41,11 +43,15 @@ class TraceCache {
   /// is non-null it reports whether THIS call was served from the cache —
   /// callers sharing the cache across concurrent runs must use it instead
   /// of diffing the global stats(), which would misattribute other runs'
-  /// traffic.  Throws via SiteByCode / SlotSeries on invalid keys.
+  /// traffic.  A non-null `scratch` lends the miss path reusable synthesis
+  /// buffers (solar/synth.hpp); it must not be shared with a concurrent
+  /// caller and never changes the result.  Throws via SiteByCode /
+  /// SlotSeries on invalid keys.
   std::shared_ptr<const SlotSeries> Get(const std::string& site_code,
                                         std::uint64_t trace_seed,
                                         std::size_t days, int slots_per_day,
-                                        bool* was_hit = nullptr);
+                                        bool* was_hit = nullptr,
+                                        SynthScratch* scratch = nullptr);
 
   /// Cumulative hit/miss counters and current entry count.  A concurrent
   /// double-synthesis of one key counts as one miss per synthesizing

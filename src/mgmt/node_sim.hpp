@@ -60,6 +60,11 @@ struct NodeSimResult {
 
 /// Runs `predictor` over `series` through the controller and store.
 /// The predictor is Reset() first.
+///
+/// This is the virtual-dispatch entry point, kept for sweeps/examples and
+/// any predictor known only as a Predictor&.  The slot loop itself lives
+/// in mgmt/node_sim_kernel.hpp as a template the fleet runner instantiates
+/// on concrete predictor types (static dispatch, bit-identical results).
 NodeSimResult SimulateNode(Predictor& predictor, const SlotSeries& series,
                            const NodeSimConfig& config);
 

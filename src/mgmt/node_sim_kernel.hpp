@@ -1,0 +1,145 @@
+// node_sim_kernel.hpp — the SimulateNode slot loop as a static-dispatch
+// template.
+//
+// The fleet hot path runs this loop once per node, thousands of nodes per
+// shard, with two per-slot virtual calls (Observe, PredictNext) and one
+// per-run dynamic_cast (the ComputeCostReporter probe).  Instantiating the
+// kernel on the CONCRETE predictor type — every hot predictor class is
+// `final` — lets the compiler devirtualize and inline the predictor into
+// the loop and resolve the cost probe at compile time.  The classic
+// virtual entry point, SimulateNode(Predictor&, ...), is this same kernel
+// instantiated at P = Predictor: one definition of the simulation
+// semantics, two dispatch strategies, bit-identical results (pinned by
+// tests/test_node_kernel.cpp and the fleet golden suite).
+//
+// fleet/runner.cpp selects the concrete instantiation per PredictorKind;
+// sweep/ and the examples keep calling the virtual entry point.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <type_traits>
+
+#include "common/check.hpp"
+#include "common/mathutil.hpp"
+#include "core/predictor.hpp"
+#include "metrics/error.hpp"
+#include "mgmt/duty_cycle.hpp"
+#include "mgmt/node_sim.hpp"
+#include "mgmt/storage.hpp"
+
+namespace shep {
+
+/// Runs `predictor` over `series` through the controller and store.  P is
+/// either a concrete final predictor class (static dispatch, the fleet hot
+/// path) or the abstract Predictor (virtual dispatch, the flexible entry).
+/// The predictor is Reset() first.
+template <class P>
+NodeSimResult SimulateNodeKernel(P& predictor, const SlotSeries& series,
+                                 const NodeSimConfig& config) {
+  config.duty.Validate();
+  config.storage.Validate();
+  SHEP_REQUIRE(config.initial_level_fraction >= 0.0 &&
+                   config.initial_level_fraction <= 1.0,
+               "initial level must be a fraction");
+  SHEP_REQUIRE(
+      std::fabs(config.duty.slot_seconds -
+                static_cast<double>(series.grid().slot_seconds)) < 1e-9,
+      "controller slot length must match the series slot length");
+
+  predictor.Reset();
+  EnergyStorage store(config.storage,
+                      config.initial_level_fraction *
+                          config.storage.capacity_j);
+  DutyCycleController controller(config.duty);
+
+  NodeSimResult result;
+  result.predictor_name = predictor.Name();
+  const double slot_s = config.duty.slot_seconds;
+  const std::size_t warmup_slots =
+      config.warmup_days * series.slots_per_day();
+
+  // The reported mean stays the plain sum/n (its rounding is pinned by the
+  // fleet golden fixtures); the VARIANCE comes from a Welford accumulator,
+  // whose running-deviation form does not cancel catastrophically on long
+  // runs the way duty_sq_sum/n - mean^2 does.
+  double duty_sum = 0.0;
+  WelfordMoments duty_moments;
+  double overflow_before = 0.0;
+  double delivered_before = 0.0;
+  double ape_sum = 0.0;
+  // Same region-of-interest rule as the accuracy evaluation (metrics/error):
+  // only slots whose mean clears 10 % of the series peak are scored, and a
+  // zero reference never enters the percentage (degenerate all-dark trace).
+  const double roi_threshold = RoiFilter{}.threshold_fraction *
+                               series.peak_mean();
+
+  for (std::size_t g = 0; g + 1 < series.size(); ++g) {
+    // Wake-up at the start of interval g: sample, predict, commit.
+    predictor.Observe(series.boundary(g));
+    const double predicted_w = std::max(0.0, predictor.PredictNext());
+    const double predicted_j = predicted_w * slot_s;
+    const double duty = controller.DutyForSlot(
+        predicted_j, store.level_j(), config.storage.capacity_j);
+
+    // Snapshot the lifetime counters before the first scored slot happens,
+    // so overflow_j/delivered_j cover exactly the same slots as the other
+    // scored totals (harvest, violations, duty).
+    if (g == warmup_slots) {
+      overflow_before = store.total_overflow_j();
+      delivered_before = store.total_delivered_j();
+    }
+
+    // The slot then actually happens.
+    const double harvest_j = series.mean(g) * slot_s;
+    const double demand_j = controller.ConsumptionJ(duty);
+    store.Charge(harvest_j);
+    const double delivered = store.Discharge(demand_j);
+    store.Leak(slot_s);
+    const bool violated = delivered + 1e-12 < demand_j;
+
+    if (g < warmup_slots) continue;
+
+    ++result.slots;
+    if (violated) ++result.violations;
+    duty_sum += duty;
+    duty_moments.Add(duty);
+    result.harvested_j += harvest_j;
+    result.min_level_fraction =
+        std::min(result.min_level_fraction, store.fraction());
+    if (series.mean(g) > 0.0 && series.mean(g) >= roi_threshold) {
+      ape_sum += std::fabs(series.mean(g) - predicted_w) / series.mean(g);
+      ++result.mape_points;
+    }
+  }
+
+  SHEP_CHECK(result.slots > 0, "simulation produced no scored slots");
+  const double n = static_cast<double>(result.slots);
+  result.violation_rate = static_cast<double>(result.violations) / n;
+  result.mean_duty = duty_sum / n;
+  result.duty_stddev = duty_moments.stddev();
+  result.overflow_j = store.total_overflow_j() - overflow_before;
+  result.delivered_j = store.total_delivered_j() - delivered_before;
+  if (result.mape_points > 0) {
+    result.mape = ape_sum / static_cast<double>(result.mape_points);
+  }
+  // MCU-cost channel: the backends that model deployment cost expose their
+  // cumulative counters through the optional ComputeCostReporter interface;
+  // the Reset() at entry zeroed them, so the totals cover exactly this run.
+  // A concrete P answers the probe at compile time; only the virtual entry
+  // point (P = Predictor) still pays the dynamic_cast, once per run.
+  if constexpr (std::is_base_of_v<ComputeCostReporter, P>) {
+    result.has_compute_cost = true;
+    result.compute =
+        static_cast<const ComputeCostReporter&>(predictor).ComputeCost();
+  } else if constexpr (std::is_same_v<P, Predictor>) {
+    if (const auto* costed =
+            dynamic_cast<const ComputeCostReporter*>(&predictor)) {
+      result.has_compute_cost = true;
+      result.compute = costed->ComputeCost();
+    }
+  }
+  return result;
+}
+
+}  // namespace shep

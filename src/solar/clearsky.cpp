@@ -1,6 +1,11 @@
 #include "solar/clearsky.hpp"
 
+#include <bit>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <tuple>
+#include <utility>
 
 #include "common/check.hpp"
 #include "timeseries/trace.hpp"
@@ -45,6 +50,68 @@ std::vector<double> ClearSkyDayGhi(double latitude_deg, int day_of_year,
     ghi[i] = HaurwitzGhi(SinElevation(lat, decl, HourAngleRad(hour)));
   }
   return ghi;
+}
+
+namespace {
+
+/// The process-wide memo behind ClearSkyDayGhiCached.  Latitude enters the
+/// key by its bit pattern: the memo must distinguish exactly the inputs the
+/// computation distinguishes, nothing coarser (and NaN keys, while
+/// nonsensical, must at least not corrupt the map ordering).
+struct ClearSkyMemo {
+  using Key = std::tuple<std::uint64_t, int, int>;
+
+  std::mutex mutex;
+  std::map<Key, std::shared_ptr<const std::vector<double>>> entries;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+};
+
+ClearSkyMemo& TheClearSkyMemo() {
+  static ClearSkyMemo memo;  // never destroyed: safe at any shutdown order.
+  return memo;
+}
+
+}  // namespace
+
+std::shared_ptr<const std::vector<double>> ClearSkyDayGhiCached(
+    double latitude_deg, int day_of_year, int resolution_s) {
+  ClearSkyMemo& memo = TheClearSkyMemo();
+  ClearSkyMemo::Key key{std::bit_cast<std::uint64_t>(latitude_deg),
+                        day_of_year, resolution_s};
+  {
+    std::lock_guard<std::mutex> lock(memo.mutex);
+    const auto it = memo.entries.find(key);
+    if (it != memo.entries.end()) {
+      ++memo.hits;
+      return it->second;
+    }
+  }
+
+  // Miss: compute without holding the lock so a long profile never blocks
+  // other keys.  First insertion wins; a racing duplicate is bit-identical
+  // (the profile is a pure function of the key) and is simply dropped.
+  auto profile = std::make_shared<const std::vector<double>>(
+      ClearSkyDayGhi(latitude_deg, day_of_year, resolution_s));
+
+  std::lock_guard<std::mutex> lock(memo.mutex);
+  ++memo.misses;
+  const auto [it, inserted] = memo.entries.emplace(key, std::move(profile));
+  return it->second;
+}
+
+ClearSkyMemoStats GetClearSkyMemoStats() {
+  ClearSkyMemo& memo = TheClearSkyMemo();
+  std::lock_guard<std::mutex> lock(memo.mutex);
+  return ClearSkyMemoStats{memo.hits, memo.misses, memo.entries.size()};
+}
+
+void ClearClearSkyMemo() {
+  ClearSkyMemo& memo = TheClearSkyMemo();
+  std::lock_guard<std::mutex> lock(memo.mutex);
+  memo.entries.clear();
+  memo.hits = 0;
+  memo.misses = 0;
 }
 
 double DaylightHours(double latitude_deg, int day_of_year) {

@@ -9,6 +9,8 @@
 // (24-hour cycles, day-to-day similarity of the same slot).
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace shep {
@@ -41,6 +43,32 @@ double HaurwitzGhi(double sin_elevation);
 /// latitude and 1-based day of year.
 std::vector<double> ClearSkyDayGhi(double latitude_deg, int day_of_year,
                                    int resolution_s);
+
+/// Process-wide memo of ClearSkyDayGhi keyed by (latitude, day-of-year,
+/// resolution).  The profile is a pure function of the key, and fleet
+/// campaigns evaluate many weather replicas of the same site over the same
+/// calendar window — each of which would otherwise recompute the identical
+/// 86400/resolution_s sin/cos/exp samples per day.  Repeated calls with one
+/// key return the same immutable shared instance.
+///
+/// Thread-safe; like fleet's TraceCache the profile is computed OUTSIDE the
+/// lock, so concurrent first calls on one key may both compute it and the
+/// first insertion wins — the loser's bit-identical copy is dropped.
+std::shared_ptr<const std::vector<double>> ClearSkyDayGhiCached(
+    double latitude_deg, int day_of_year, int resolution_s);
+
+/// Counters of the process-wide clear-sky memo.  A concurrent
+/// double-compute of one key counts one miss per computing caller.
+struct ClearSkyMemoStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::size_t entries = 0;
+};
+ClearSkyMemoStats GetClearSkyMemoStats();
+
+/// Drops every memoized profile (shared_ptrs held by callers stay alive)
+/// and resets the counters; used by tests to start from a cold memo.
+void ClearClearSkyMemo();
 
 /// Daylight duration in hours for the given latitude/day (sunrise-to-sunset
 /// from the hour-angle at zero elevation); used by tests to check seasonal

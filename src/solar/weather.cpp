@@ -92,6 +92,16 @@ std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
                                                    int resolution_s,
                                                    double& drift,
                                                    Rng& rng) const {
+  std::vector<double> tau;
+  DayScratch scratch;
+  DayTransmittanceInto(state, resolution_s, drift, rng, tau, scratch);
+  return tau;
+}
+
+void WeatherModel::DayTransmittanceInto(WeatherState state, int resolution_s,
+                                        double& drift, Rng& rng,
+                                        std::vector<double>& tau,
+                                        DayScratch& scratch) const {
   SHEP_REQUIRE(resolution_s > 0 && kSecondsPerDay % resolution_s == 0,
                "resolution must divide one day");
   const auto n = static_cast<std::size_t>(kSecondsPerDay / resolution_s);
@@ -107,10 +117,8 @@ std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
 
   // Draw the day's cloud events up front (Poisson arrivals over 24 h; the
   // night-time ones simply multiply zero irradiance and are harmless).
-  struct CloudEvent {
-    double start_s, end_s, depth;
-  };
-  std::vector<CloudEvent> events;
+  std::vector<DayScratch::CloudEvent>& events = scratch.events;
+  events.clear();
   const double rate_per_s = params_.cloud_rate_per_hour[si] / 3600.0;
   if (rate_per_s > 0.0) {
     double t = 0.0;
@@ -119,7 +127,7 @@ std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
       const double u = std::max(rng.NextDouble(), 1e-300);
       t += -std::log(u) / rate_per_s;
       if (t >= kSecondsPerDay) break;
-      CloudEvent ev;
+      DayScratch::CloudEvent ev;
       ev.start_s = t;
       ev.end_s = t + rng.Uniform(params_.cloud_duration_min_s,
                                  params_.cloud_duration_max_s);
@@ -128,16 +136,44 @@ std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
     }
   }
 
-  std::vector<double> tau(n);
+  // The day's drift draws are batched up front: the sample loop consumes
+  // exactly one Gaussian per sample and nothing else touches the generator
+  // in between, so pre-drawing produces the SAME values in the SAME order.
+  // Drawing through a local Rng copy lets the generator state live in
+  // registers — through the reference the compiler must assume rng's
+  // members could alias the output buffer and re-load them every draw.
+  std::vector<double>& gauss = scratch.gauss;
+  gauss.resize(n);
+  Rng local_rng = rng;
   for (std::size_t i = 0; i < n; ++i) {
-    drift = params_.drift_phi * drift + rng.Gaussian(0.0, innovation);
+    gauss[i] = local_rng.Gaussian(0.0, innovation);
+  }
+  rng = local_rng;
+
+  // Attenuation from overlapping cloud events, weighted by the fraction of
+  // the sample interval each event covers (so short events still register
+  // correctly on 5-minute grids).  Poisson arrivals come out in time
+  // order, so a sweep maintains the few events whose window can still
+  // touch the current sample instead of scanning the whole day's list per
+  // sample (a heavy-weather day is ~100 events x 1440 samples).  The live
+  // list stays in generation order, so the attenuation product multiplies
+  // exactly the factors the full scan would, in the same order —
+  // bit-identical, just O(samples + events) instead of O(samples x events).
+  std::vector<std::size_t>& active = scratch.active;
+  active.clear();
+  std::size_t next_event = 0;
+  tau.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    drift = params_.drift_phi * drift + gauss[i];
     const double t0 = static_cast<double>(i) * resolution_s;
     const double t1 = t0 + resolution_s;
-    // Attenuation from overlapping cloud events, weighted by the fraction
-    // of the sample interval each event covers (so short events still
-    // register correctly on 5-minute grids).
+    while (next_event < events.size() && events[next_event].start_s < t1) {
+      active.push_back(next_event++);
+    }
+    std::erase_if(active, [&](std::size_t e) { return events[e].end_s <= t0; });
     double attenuation = 1.0;
-    for (const auto& ev : events) {
+    for (const std::size_t e : active) {
+      const auto& ev = events[e];
       const double overlap =
           std::max(0.0, std::min(t1, ev.end_s) - std::max(t0, ev.start_s));
       if (overlap > 0.0) {
@@ -152,7 +188,8 @@ std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
   // (window clamped at the day boundaries; midnight is dark anyway).
   const int w = params_.smooth_samples;
   if (w > 1) {
-    std::vector<double> smoothed(n);
+    std::vector<double>& smoothed = scratch.smooth;
+    smoothed.resize(n);
     const int half = w / 2;
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t lo =
@@ -162,19 +199,29 @@ std::vector<double> WeatherModel::DayTransmittance(WeatherState state,
       for (std::size_t j = lo; j <= hi; ++j) acc += tau[j];
       smoothed[i] = acc / static_cast<double>(hi - lo + 1);
     }
-    tau = std::move(smoothed);
+    // The smoothed day becomes the output and tau's old storage becomes
+    // next call's smoothing buffer — a swap, so neither side reallocates.
+    tau.swap(smoothed);
   }
 
   // Fast multiplicative noise (scintillation / sensor noise) survives the
   // smoothing by construction, then everything is re-clamped into the
-  // physical range.
-  for (std::size_t i = 0; i < n; ++i) {
-    if (params_.fast_sigma > 0.0) {
-      tau[i] *= 1.0 + rng.Gaussian(0.0, params_.fast_sigma);
+  // physical range.  The noise draws are batched like the drift draws.
+  if (params_.fast_sigma > 0.0) {
+    local_rng = rng;
+    for (std::size_t i = 0; i < n; ++i) {
+      gauss[i] = local_rng.Gaussian(0.0, params_.fast_sigma);
     }
-    tau[i] = Clamp(tau[i], params_.min_transmittance, 1.0);
+    rng = local_rng;
+    for (std::size_t i = 0; i < n; ++i) {
+      tau[i] *= 1.0 + gauss[i];
+      tau[i] = Clamp(tau[i], params_.min_transmittance, 1.0);
+    }
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      tau[i] = Clamp(tau[i], params_.min_transmittance, 1.0);
+    }
   }
-  return tau;
 }
 
 }  // namespace shep

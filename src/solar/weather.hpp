@@ -87,6 +87,21 @@ struct WeatherParams {
 /// Simulates the per-day state sequence and per-sample transmittance.
 class WeatherModel {
  public:
+  /// Reusable working storage for DayTransmittanceInto.  A default-built
+  /// value works; reusing one across days/traces makes the generator
+  /// allocation-free after the first day (the fleet hot path synthesizes
+  /// thousands of days per worker).
+  struct DayScratch {
+    /// One attenuation pulse of the day's Poisson cloud process.
+    struct CloudEvent {
+      double start_s, end_s, depth;
+    };
+    std::vector<CloudEvent> events;
+    std::vector<std::size_t> active;  ///< sweep's live-event index window.
+    std::vector<double> gauss;        ///< batched Gaussian draws.
+    std::vector<double> smooth;       ///< box-filter output buffer.
+  };
+
   explicit WeatherModel(const WeatherParams& params);
 
   const WeatherParams& params() const { return params_; }
@@ -103,6 +118,14 @@ class WeatherModel {
   /// consecutive days join smoothly.
   std::vector<double> DayTransmittance(WeatherState state, int resolution_s,
                                        double& drift, Rng& rng) const;
+
+  /// Allocation-free form: writes the day into `tau` (resized to one
+  /// sample per resolution_s) reusing `scratch`'s buffers.  Bit-identical
+  /// to DayTransmittance for the same RNG stream — only where the values
+  /// land changes.
+  void DayTransmittanceInto(WeatherState state, int resolution_s,
+                            double& drift, Rng& rng, std::vector<double>& tau,
+                            DayScratch& scratch) const;
 
  private:
   WeatherParams params_;

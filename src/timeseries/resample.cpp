@@ -8,8 +8,18 @@ PowerTrace DownsampleMean(const PowerTrace& trace, int factor) {
   SHEP_REQUIRE(factor >= 1, "downsample factor must be >= 1");
   SHEP_REQUIRE(trace.samples_per_day() % static_cast<std::size_t>(factor) == 0,
                "factor must divide samples per day");
-  const auto in = trace.samples();
-  std::vector<double> out(in.size() / static_cast<std::size_t>(factor));
+  std::vector<double> out;
+  DownsampleMeanInto(trace.samples(), factor, out);
+  return PowerTrace(trace.name(), std::move(out),
+                    trace.resolution_s() * factor);
+}
+
+void DownsampleMeanInto(std::span<const double> in, int factor,
+                        std::vector<double>& out) {
+  SHEP_REQUIRE(factor >= 1, "downsample factor must be >= 1");
+  SHEP_REQUIRE(in.size() % static_cast<std::size_t>(factor) == 0,
+               "factor must divide the sample count");
+  out.resize(in.size() / static_cast<std::size_t>(factor));
   for (std::size_t i = 0; i < out.size(); ++i) {
     double acc = 0.0;
     for (int k = 0; k < factor; ++k) {
@@ -18,8 +28,6 @@ PowerTrace DownsampleMean(const PowerTrace& trace, int factor) {
     }
     out[i] = acc / factor;
   }
-  return PowerTrace(trace.name(), std::move(out),
-                    trace.resolution_s() * factor);
 }
 
 PowerTrace DownsampleDecimate(const PowerTrace& trace, int factor) {

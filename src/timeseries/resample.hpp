@@ -7,6 +7,9 @@
 // available at a high resolution").
 #pragma once
 
+#include <span>
+#include <vector>
+
 #include "timeseries/trace.hpp"
 
 namespace shep {
@@ -15,6 +18,14 @@ namespace shep {
 /// `factor` input samples it covers.  `factor` = new_resolution / old.
 /// Preserves total energy exactly.
 PowerTrace DownsampleMean(const PowerTrace& trace, int factor);
+
+/// Allocation-free core of DownsampleMean: block-averages `in` into `out`
+/// (resized to in.size()/factor; `factor` must divide in.size()).  Callers
+/// that already hold day-aligned samples (trace synthesis, per-worker
+/// fleet scratch) reuse `out` across traces instead of building a
+/// PowerTrace per resolution hop.  Bit-identical to DownsampleMean.
+void DownsampleMeanInto(std::span<const double> in, int factor,
+                        std::vector<double>& out);
 
 /// Downsamples by decimation: keeps the first sample of every block, which
 /// models a low-rate data logger that records instantaneous values.

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "timeseries/trace.hpp"
 
@@ -92,6 +94,80 @@ TEST(DaylightHours, SeasonalAsymmetry) {
 TEST(DaylightHours, PolarCases) {
   EXPECT_DOUBLE_EQ(DaylightHours(80.0, 172), 24.0);  // midnight sun
   EXPECT_DOUBLE_EQ(DaylightHours(80.0, 355), 0.0);   // polar night
+}
+
+TEST(ClearSkyMemo, ReturnsBitIdenticalProfilesAndSharesInstances) {
+  ClearClearSkyMemo();
+  const auto direct = ClearSkyDayGhi(35.93, 120, 60);
+  const auto cached = ClearSkyDayGhiCached(35.93, 120, 60);
+  ASSERT_EQ(cached->size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_EQ((*cached)[i], direct[i]) << "sample " << i;
+  }
+  // Second lookup: the SAME shared instance, and a hit in the stats.
+  const auto again = ClearSkyDayGhiCached(35.93, 120, 60);
+  EXPECT_EQ(again.get(), cached.get());
+  const auto stats = GetClearSkyMemoStats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(ClearSkyMemo, DistinguishesEveryKeyComponent) {
+  ClearClearSkyMemo();
+  const auto base = ClearSkyDayGhiCached(35.93, 120, 60);
+  EXPECT_NE(ClearSkyDayGhiCached(36.10, 120, 60).get(), base.get());
+  EXPECT_NE(ClearSkyDayGhiCached(35.93, 121, 60).get(), base.get());
+  EXPECT_NE(ClearSkyDayGhiCached(35.93, 120, 300).get(), base.get());
+  EXPECT_EQ(GetClearSkyMemoStats().entries, 4u);
+  ClearClearSkyMemo();
+  EXPECT_EQ(GetClearSkyMemoStats().entries, 0u);
+}
+
+TEST(ClearSkyMemo, ConcurrentFirstUseIsRaceFreeAndConverges) {
+  // Many threads hammer an overlapping key set on a cold memo — the
+  // sanitizer jobs (TSan in particular) check the locking discipline; the
+  // assertions check every thread ends up with the shared, bit-exact
+  // profile no matter who computed it first.
+  ClearClearSkyMemo();
+  constexpr int kThreads = 8;
+  constexpr int kDays = 12;
+  std::vector<std::vector<std::shared_ptr<const std::vector<double>>>> seen(
+      kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &seen] {
+      for (int doy = 1; doy <= kDays; ++doy) {
+        // Two interleaved key orders so threads collide on cold keys.
+        const int day = (t % 2 == 0) ? doy : kDays + 1 - doy;
+        seen[static_cast<std::size_t>(t)].push_back(
+            ClearSkyDayGhiCached(39.74, day, 300));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  // Whatever the race outcome, every thread must hold the instance that
+  // won the insertion for its key — the one later lookups return — and
+  // each kept profile must match a fresh recomputation bit for bit.
+  for (int t = 0; t < kThreads; ++t) {
+    for (int doy = 1; doy <= kDays; ++doy) {
+      const int day = (t % 2 == 0) ? doy : kDays + 1 - doy;
+      const auto& mine =
+          seen[static_cast<std::size_t>(t)][static_cast<std::size_t>(doy - 1)];
+      EXPECT_EQ(mine.get(), ClearSkyDayGhiCached(39.74, day, 300).get())
+          << "thread " << t << " day " << day;
+      const auto direct = ClearSkyDayGhi(39.74, day, 300);
+      ASSERT_EQ(mine->size(), direct.size());
+      for (std::size_t i = 0; i < direct.size(); ++i) {
+        ASSERT_EQ((*mine)[i], direct[i]) << "day " << day << " sample " << i;
+      }
+    }
+  }
+  const auto stats = GetClearSkyMemoStats();
+  EXPECT_EQ(stats.entries, static_cast<std::size_t>(kDays));
+  EXPECT_GE(stats.misses, static_cast<std::uint64_t>(kDays));
 }
 
 // Property: for all paper-site latitudes and several days, GHI is

@@ -3,9 +3,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/baselines.hpp"
 #include "core/ewma.hpp"
 #include "core/wcma.hpp"
+#include "mgmt/duty_cycle.hpp"
+#include "mgmt/storage.hpp"
 #include "solar/synth.hpp"
 
 namespace shep {
@@ -119,6 +125,56 @@ TEST(SimulateNode, ValidatesInitialLevel) {
   config.initial_level_fraction = 1.5;
   Persistence p;
   EXPECT_THROW(SimulateNode(p, series, config), std::invalid_argument);
+}
+
+TEST(SimulateNode, LongRunDutyStddevMatchesTwoPassReference) {
+  // Pin for the Welford duty-variance accumulator: replay the simulation
+  // loop with the same public components, collect the actual duty
+  // sequence, and compare the kernel's streamed stddev against the exact
+  // two-pass computation.  At ~17k scored slots the old duty_sq_sum/n -
+  // mean^2 form visibly drifts; Welford must track the reference to
+  // near machine precision.
+  const auto series = MakeSeries("ECSU", 380);
+  const auto config = MakeConfig();
+  Ewma predictor(0.5, 48);
+  const auto result = SimulateNode(predictor, series, config);
+  ASSERT_GT(result.slots, 15000u);
+
+  Ewma replay_predictor(0.5, 48);
+  replay_predictor.Reset();
+  EnergyStorage store(config.storage,
+                      config.initial_level_fraction *
+                          config.storage.capacity_j);
+  DutyCycleController controller(config.duty);
+  const std::size_t warmup_slots =
+      config.warmup_days * series.slots_per_day();
+  std::vector<double> duties;
+  for (std::size_t g = 0; g + 1 < series.size(); ++g) {
+    replay_predictor.Observe(series.boundary(g));
+    const double predicted_j =
+        std::max(0.0, replay_predictor.PredictNext()) *
+        config.duty.slot_seconds;
+    const double duty = controller.DutyForSlot(
+        predicted_j, store.level_j(), config.storage.capacity_j);
+    store.Charge(series.mean(g) * config.duty.slot_seconds);
+    store.Discharge(controller.ConsumptionJ(duty));
+    store.Leak(config.duty.slot_seconds);
+    if (g >= warmup_slots) duties.push_back(duty);
+  }
+  ASSERT_EQ(duties.size(), result.slots);
+
+  double mean = 0.0;
+  for (double d : duties) mean += d;
+  mean /= static_cast<double>(duties.size());
+  double m2 = 0.0;
+  for (double d : duties) m2 += (d - mean) * (d - mean);
+  const double two_pass_stddev =
+      std::sqrt(m2 / static_cast<double>(duties.size()));
+
+  EXPECT_GT(result.duty_stddev, 0.0);
+  EXPECT_NEAR(result.duty_stddev, two_pass_stddev,
+              1e-12 * std::max(1.0, two_pass_stddev));
+  EXPECT_NEAR(result.mean_duty, mean, 1e-12);
 }
 
 TEST(SimulateNode, TinyStorageCausesMoreViolations) {

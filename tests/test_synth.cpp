@@ -137,6 +137,50 @@ TEST(Synthesize, ValidatesOptions) {
   opt.start_day_of_year = 0;
   EXPECT_THROW(SynthesizeTrace(SiteByCode("HSU"), opt),
                std::invalid_argument);
+  opt.start_day_of_year = 367;
+  EXPECT_THROW(SynthesizeTrace(SiteByCode("HSU"), opt),
+               std::invalid_argument);
+}
+
+TEST(Synthesize, LeapDayStartWrapsToJanuaryFirst) {
+  // Day 366 (a leap year's Dec 31) is accepted — SolarDeclinationRad always
+  // was defined on [1, 366] and the synthesizer now agrees — and wraps onto
+  // day 1: the synthetic year is the 365-day declination cycle, and 366 is
+  // exactly one period past 1.  Same seed, so the traces are bit-identical.
+  SynthOptions leap;
+  leap.days = 5;
+  leap.start_day_of_year = 366;
+  const auto from_366 = SynthesizeTrace(SiteByCode("ORNL"), leap);
+  SynthOptions jan;
+  jan.days = 5;
+  jan.start_day_of_year = 1;
+  const auto from_1 = SynthesizeTrace(SiteByCode("ORNL"), jan);
+  ASSERT_EQ(from_366.size(), from_1.size());
+  for (std::size_t i = 0; i < from_366.size(); ++i) {
+    ASSERT_EQ(from_366.samples()[i], from_1.samples()[i]) << "sample " << i;
+  }
+}
+
+TEST(Synthesize, ScratchReuseIsBitIdentical) {
+  // One scratch carried across traces of different sites and replicas must
+  // reproduce the fresh-buffer path exactly: buffer reuse (and the
+  // process-wide clear-sky memo behind both paths) may only change where
+  // intermediates live, never a single output bit.
+  SynthScratch scratch;
+  for (const char* code : {"ORNL", "ECSU", "PFCI", "ORNL"}) {
+    for (std::uint64_t replica = 0; replica < 2; ++replica) {
+      SynthOptions opt;
+      opt.days = 7;
+      opt.seed_offset = replica;
+      const auto fresh = SynthesizeTrace(SiteByCode(code), opt);
+      const auto reused = SynthesizeTrace(SiteByCode(code), opt, scratch);
+      ASSERT_EQ(fresh.size(), reused.size());
+      for (std::size_t i = 0; i < fresh.size(); ++i) {
+        ASSERT_EQ(fresh.samples()[i], reused.samples()[i])
+            << code << " replica " << replica << " sample " << i;
+      }
+    }
+  }
 }
 
 }  // namespace

@@ -156,5 +156,50 @@ TEST(ParallelFor, ResultsMatchSerialExecution) {
   EXPECT_EQ(parallel_out, serial_out);
 }
 
+TEST(ParallelForWorker, WorkerCountMatchesHelperAndBoundsIds) {
+  ThreadPool pool(4);
+  EXPECT_EQ(ParallelWorkerCount(nullptr, 100), 1u);
+  EXPECT_EQ(ParallelWorkerCount(&pool, 0), 1u);
+  EXPECT_EQ(ParallelWorkerCount(&pool, 1), 1u);
+  EXPECT_EQ(ParallelWorkerCount(&pool, 3), 3u);
+  EXPECT_EQ(ParallelWorkerCount(&pool, 100), 4u);
+
+  const std::size_t bound = ParallelWorkerCount(&pool, 64);
+  std::vector<std::atomic<int>> visits(64);
+  std::atomic<bool> id_in_range{true};
+  ParallelForWorker(&pool, 64, [&](std::size_t worker, std::size_t i) {
+    if (worker >= bound) id_in_range = false;
+    ++visits[i];
+  });
+  EXPECT_TRUE(id_in_range.load());
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelForWorker, SameWorkerIdNeverRunsConcurrently) {
+  // The contract that makes per-worker scratch race-free: iterations that
+  // report the same worker id are fully serialized.  Each id owns a flag;
+  // observing it already set from another in-flight iteration would mean
+  // two iterations shared an id concurrently.
+  ThreadPool pool(4);
+  const std::size_t bound = ParallelWorkerCount(&pool, 256);
+  std::vector<std::atomic<int>> in_flight(bound);
+  std::atomic<bool> overlap{false};
+  ParallelForWorker(&pool, 256, [&](std::size_t worker, std::size_t) {
+    if (in_flight[worker].fetch_add(1) != 0) overlap = true;
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    in_flight[worker].fetch_sub(1);
+  });
+  EXPECT_FALSE(overlap.load());
+}
+
+TEST(ParallelForWorker, InlineExecutionUsesWorkerZero) {
+  std::vector<std::size_t> ids;
+  ParallelForWorker(nullptr, 5, [&](std::size_t worker, std::size_t i) {
+    EXPECT_EQ(i, ids.size());
+    ids.push_back(worker);
+  });
+  EXPECT_EQ(ids, std::vector<std::size_t>(5, 0u));
+}
+
 }  // namespace
 }  // namespace shep
