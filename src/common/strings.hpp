@@ -15,10 +15,10 @@ std::vector<std::string> Split(std::string_view s, char sep);
 std::string_view Trim(std::string_view s);
 
 /// Parses a double; returns nullopt on any trailing garbage or empty input.
-std::optional<double> ParseDouble(std::string_view s);
+[[nodiscard]] std::optional<double> ParseDouble(std::string_view s);
 
 /// Parses a non-negative integer; nullopt on failure.
-std::optional<long long> ParseInt(std::string_view s);
+[[nodiscard]] std::optional<long long> ParseInt(std::string_view s);
 
 /// Formats `value` with `digits` digits after the decimal point.
 std::string FormatFixed(double value, int digits);

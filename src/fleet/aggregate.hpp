@@ -61,7 +61,7 @@ struct StreamingMoments : WelfordMoments {
   /// deserialized value is BIT-identical (the distributed merge path
   /// depends on it).
   void Serialize(std::ostream& os) const;
-  static StreamingMoments Deserialize(std::istream& is);
+  [[nodiscard]] static StreamingMoments Deserialize(std::istream& is);
 };
 
 /// Fixed-range histogram with uniform bins; out-of-range values clamp to
@@ -92,7 +92,7 @@ class FixedHistogram {
   /// Single-line text form (geometry + sparse non-zero bins); bit-exact
   /// round trip via Deserialize.
   void Serialize(std::ostream& os) const;
-  static FixedHistogram Deserialize(std::istream& is);
+  [[nodiscard]] static FixedHistogram Deserialize(std::istream& is);
 
  private:
   double lo_;
@@ -140,7 +140,7 @@ struct CellAccumulator {
   /// lets a FleetPartial cross a process boundary and still merge
   /// bit-identically to the single-process run.
   void Serialize(std::ostream& os) const;
-  static CellAccumulator Deserialize(std::istream& is);
+  [[nodiscard]] static CellAccumulator Deserialize(std::istream& is);
 };
 
 /// The deterministic output of a fleet run: the expanded cells plus one

@@ -52,7 +52,7 @@ struct FleetPartial {
 
   /// Inverse of Serialize.  Throws std::invalid_argument on malformed
   /// input.
-  static FleetPartial Parse(const std::string& text);
+  [[nodiscard]] static FleetPartial Parse(const std::string& text);
 };
 
 }  // namespace shep

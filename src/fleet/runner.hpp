@@ -91,8 +91,8 @@ NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
 /// the final summary, in plan order.  Throws std::invalid_argument when a
 /// partial's fingerprint disagrees with the plan or the partials miss or
 /// duplicate a shard.
-FleetSummary MergeFleetPartials(const ShardPlan& plan,
-                                const std::vector<FleetPartial>& partials);
+[[nodiscard]] FleetSummary MergeFleetPartials(
+    const ShardPlan& plan, const std::vector<FleetPartial>& partials);
 
 /// Single-process convenience: the three stages glued together.
 /// Deterministic in (spec, shard_size).

@@ -77,6 +77,6 @@ ShardPlan BuildShardPlan(const ScenarioSpec& spec, std::size_t shard_size = 8);
 
 /// Parses the output of ShardPlan::Describe.  Throws std::invalid_argument
 /// on malformed input.
-ShardPlanLayout ParseShardPlanLayout(const std::string& text);
+[[nodiscard]] ShardPlanLayout ParseShardPlanLayout(const std::string& text);
 
 }  // namespace shep

@@ -35,8 +35,10 @@ struct CsvLoadResult {
 /// Parses CSV text into a trace.  The sample count must form whole days at
 /// `resolution_s`; otherwise an error naming the offending count is
 /// returned.
-CsvLoadResult ParseCsv(const std::string& text, const std::string& name,
-                       int resolution_s, const CsvOptions& options = {});
+[[nodiscard]] CsvLoadResult ParseCsv(const std::string& text,
+                                     const std::string& name,
+                                     int resolution_s,
+                                     const CsvOptions& options = {});
 
 /// Loads a trace from a CSV file on disk.
 CsvLoadResult LoadCsv(const std::string& path, const std::string& name,

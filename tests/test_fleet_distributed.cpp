@@ -196,7 +196,10 @@ TEST(ShardPlan, DescribeRoundTripsThroughLayout) {
            "nodes 10 shard_size 5 days 30 slots_per_day 48\n"
            "shards " + std::to_string(count) + "\n" + ranges + "lanes 0\n";
   };
-  ParseShardPlanLayout(with_ranges("shard 0 0 5\nshard 1 5 10\n", 2));
+  EXPECT_EQ(
+      ParseShardPlanLayout(with_ranges("shard 0 0 5\nshard 1 5 10\n", 2))
+          .shards.size(),
+      2u);
   EXPECT_THROW(  // gap: nodes 5-6 uncovered.
       ParseShardPlanLayout(with_ranges("shard 0 0 5\nshard 1 7 10\n", 2)),
       std::invalid_argument);
@@ -337,7 +340,8 @@ TEST(MergeFleetPartials, RejectsForeignMissingAndDuplicateCoverage) {
   }
 
   // Happy path sanity first.
-  MergeFleetPartials(plan, partials);
+  EXPECT_EQ(MergeFleetPartials(plan, partials).node_count,
+            plan.matrix.nodes.size());
 
   // A shard missing.
   EXPECT_THROW(MergeFleetPartials(plan, {partials[0]}),

@@ -1,0 +1,13 @@
+// BAD: environment-dependent seeds make runs host-dependent; seeds must
+// arrive through explicit parameters (ScenarioSpec::seed).
+#include <cstdlib>
+#include <string>
+
+namespace shep {
+
+unsigned long long SeedFromEnvironment() {
+  const char* value = std::getenv("SHEP_SEED");
+  return value == nullptr ? 0ull : std::stoull(value);
+}
+
+}  // namespace shep

@@ -1,0 +1,11 @@
+// BAD: solar may depend on timeseries/common only; reaching into core
+// inverts the layer DAG (core depends on data produced by solar's
+// consumers, never the other way around).
+#include "core/wcma.hpp"
+#include "timeseries/trace.hpp"
+
+namespace shep {
+
+double SolarPeekAtPredictor() { return 0.0; }
+
+}  // namespace shep

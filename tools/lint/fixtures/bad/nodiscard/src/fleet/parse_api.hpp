@@ -1,0 +1,18 @@
+// BAD: a parse entry point whose return value can be silently dropped —
+// callers that discard a parsed plan almost certainly meant to use it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace shep {
+
+struct PlanStub {
+  std::vector<int> shards;
+};
+
+PlanStub ParsePlanStub(const std::string& text);
+
+PlanStub MergePlanStubs(const std::vector<PlanStub>& stubs);
+
+}  // namespace shep

@@ -1,0 +1,13 @@
+// BAD: C PRNGs and std::random_device draw different sequences on every
+// run, which breaks the fleet's bit-identity contract.
+#include <cstdlib>
+#include <random>
+
+namespace shep {
+
+unsigned NondeterministicSeed() {
+  std::random_device device;
+  return device() ^ static_cast<unsigned>(rand());
+}
+
+}  // namespace shep

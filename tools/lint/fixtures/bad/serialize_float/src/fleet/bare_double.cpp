@@ -1,0 +1,17 @@
+// BAD: a double streamed bare in a Serialize body round-trips through the
+// default 6-significant-digit ostream formatting, so the parsed value is
+// not bit-identical to the written one.
+#include <ostream>
+
+namespace shep {
+
+struct LossyMoments {
+  std::size_t count = 0;
+  double mean = 0.0;
+
+  void Serialize(std::ostream& os) const {
+    os << "moments " << count << ' ' << mean << ' ' << 1.5 << '\n';
+  }
+};
+
+}  // namespace shep

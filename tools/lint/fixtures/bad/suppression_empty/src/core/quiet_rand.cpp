@@ -1,0 +1,11 @@
+// BAD: the waiver names the right rule but carries no justification, so
+// BOTH the original finding and the suppression rule fire.
+#include <cstdlib>
+
+namespace shep {
+
+int QuietRand() {
+  return rand();  // shep-lint: allow(determinism-rand)
+}
+
+}  // namespace shep

@@ -1,0 +1,9 @@
+// BAD: a waiver on a line that triggers nothing is stale — it would
+// silently pre-authorize a future hazard nobody reviewed.
+namespace shep {
+
+int PlainArithmetic() {
+  return 1 + 1;  // shep-lint: allow(determinism-rand) left over from a refactor
+}
+
+}  // namespace shep

@@ -1,0 +1,9 @@
+// BAD: allow(...) must name a real rule; a typo here would silently waive
+// nothing while looking like a sanctioned exception.
+namespace shep {
+
+int AnsweredQuestions() {
+  return 42;  // shep-lint: allow(determinsm-rand) typo'd rule id
+}
+
+}  // namespace shep

@@ -1,0 +1,14 @@
+// BAD: range-for over an unordered container folds hash-seed iteration
+// order into the accumulator, so the sum's rounding differs between runs
+// and standard-library implementations.
+#include <unordered_map>
+
+namespace shep {
+
+double FoldPerCellTotals(const std::unordered_map<int, double>& per_cell) {
+  double total = 0.0;
+  for (const auto& [cell, value] : per_cell) total += value;
+  return total;
+}
+
+}  // namespace shep

@@ -1,0 +1,11 @@
+// BAD: system_clock reads make a result depend on when it ran; durations
+// must come from steady_clock and feed runtime metadata only.
+#include <chrono>
+
+namespace shep {
+
+long long WallClockStamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace shep

@@ -1,0 +1,5 @@
+// GOOD: same-directory include plus layer includes from a consumer.
+#include "bench_common.hpp"
+#include "fleet/cell_state.hpp"
+
+int main() { return WarmupIterations() > 0 ? 0 : 1; }

@@ -1,0 +1,6 @@
+// GOOD: a local helper header shared by bench mains, included by file
+// name rather than a layer path — allowed because it resolves next to the
+// including file.
+#pragma once
+
+inline int WarmupIterations() { return 3; }

@@ -1,0 +1,23 @@
+// GOOD: value-returning parse entry point marked [[nodiscard]]; a
+// throw-based void Validate() has nothing to discard and is exempt.
+// Comments mentioning rand() or system_clock must not trip the lint, and
+// neither may a string literal: "prefer std::random_device" is prose here.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace shep {
+
+inline const char* kAdvice = "never seed from std::random_device";
+
+struct Ratio {
+  double value = 0.0;
+
+  void Validate() const;
+};
+
+[[nodiscard]] std::optional<double> ParseRatio(std::string_view s);
+
+}  // namespace shep

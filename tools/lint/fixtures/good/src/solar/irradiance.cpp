@@ -1,0 +1,11 @@
+// GOOD: solar -> common is allowed through the DAG closure (solar ->
+// timeseries -> common), even though it is not a direct edge.
+#include "common/util.hpp"
+
+namespace shep {
+
+double ScaleIrradiance(double ghi, const Ratio& ratio) {
+  return ghi * ratio.value;
+}
+
+}  // namespace shep

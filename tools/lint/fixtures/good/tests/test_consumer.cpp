@@ -1,0 +1,11 @@
+// GOOD: tests are consumers — they may include any layer and may use
+// banned constructs (here rand()) to exercise error paths; only the
+// include rules apply to them.
+#include <cstdlib>
+
+#include "fleet/cell_state.hpp"
+#include "solar/irradiance.hpp"
+
+int main() {
+  return rand() % 1;
+}

@@ -1,0 +1,473 @@
+#include "lint_rules.hpp"
+
+#include <algorithm>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace shep::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* kRuleLayerDag = "layer-dag";
+const char* kRuleRand = "determinism-rand";
+const char* kRuleTime = "determinism-time";
+const char* kRuleEnv = "determinism-env";
+const char* kRuleUnordered = "determinism-unordered";
+const char* kRuleSerializeFloat = "serialize-float";
+const char* kRuleNodiscard = "nodiscard";
+const char* kRuleSuppression = "suppression";
+
+/// A finding before suppression processing.
+struct Candidate {
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Everything the per-file rules need to see beyond their own file.
+struct TreeContext {
+  fs::path root;
+  const LayerDag* dag = nullptr;
+  /// All scanned files keyed by repo-relative path ("src/fleet/runner.cpp").
+  std::map<std::string, SourceFile> files;
+  /// Memoized float-identifier sets (see FloatIdents).
+  std::map<std::string, std::set<std::string>> float_idents;
+};
+
+std::string DirName(const std::string& rel) {
+  const std::size_t slash = rel.rfind('/');
+  return slash == std::string::npos ? std::string() : rel.substr(0, slash);
+}
+
+/// Resolves a quoted include of `from` to the repo-relative path of a
+/// scanned file: layer-style ("fleet/aggregate.hpp" -> src/fleet/...) or
+/// local ("repro_common.hpp" -> sibling of `from`).  Empty when the target
+/// is not part of the scanned tree.
+std::string ResolveInclude(const TreeContext& ctx, const std::string& from,
+                           const std::string& include) {
+  const std::string as_src = "src/" + include;
+  if (ctx.files.count(as_src)) return as_src;
+  const std::string dir = DirName(from);
+  const std::string local = dir.empty() ? include : dir + "/" + include;
+  if (ctx.files.count(local)) return local;
+  return {};
+}
+
+/// Identifiers declared `double`/`float` in `rel` or anything it
+/// transitively includes.  This is the set the serialize-float rule treats
+/// as "floating-point valued": members like WelfordMoments::mean live in a
+/// header two includes away from the Serialize body that streams them, so
+/// the collection must follow the include graph.
+const std::set<std::string>& FloatIdents(TreeContext& ctx,
+                                         const std::string& rel,
+                                         std::set<std::string>& visiting) {
+  const auto memo = ctx.float_idents.find(rel);
+  if (memo != ctx.float_idents.end()) return memo->second;
+  static const std::set<std::string> kEmpty;
+  if (visiting.count(rel)) return kEmpty;  // include cycle guard.
+  visiting.insert(rel);
+
+  static const std::regex kDecl(R"(\b(?:double|float)\s+([A-Za-z_]\w*))");
+  std::set<std::string> idents;
+  const SourceFile& file = ctx.files.at(rel);
+  for (const std::string& line : file.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kDecl), end;
+         it != end; ++it) {
+      idents.insert((*it)[1].str());
+    }
+  }
+  for (const IncludeRef& inc : ExtractIncludes(file)) {
+    const std::string target = ResolveInclude(ctx, rel, inc.path);
+    if (!target.empty()) {
+      const std::set<std::string>& sub = FloatIdents(ctx, target, visiting);
+      idents.insert(sub.begin(), sub.end());
+    }
+  }
+  visiting.erase(rel);
+  return ctx.float_idents.emplace(rel, std::move(idents)).first->second;
+}
+
+// ---------------------------------------------------------------------------
+// layer-dag
+// ---------------------------------------------------------------------------
+
+void CheckLayerDag(const TreeContext& ctx, const SourceFile& file,
+                   FileCategory category, std::vector<Candidate>& out) {
+  const std::optional<std::string> layer = LayerOfPath(file.path);
+  if (category == FileCategory::kLayerSource && !layer) {
+    out.push_back({1, kRuleLayerDag,
+                   "file sits under src/ but not in a layer directory"});
+    return;
+  }
+  if (layer && !ctx.dag->Knows(*layer)) {
+    out.push_back({1, kRuleLayerDag,
+                   "layer `" + *layer +
+                       "` is not in the layer DAG table "
+                       "(tools/lint/layer_dag.txt)"});
+    return;
+  }
+  for (const IncludeRef& inc : ExtractIncludes(file)) {
+    const std::size_t slash = inc.path.find('/');
+    const std::string first =
+        slash == std::string::npos ? std::string() : inc.path.substr(0, slash);
+    if (!first.empty() && ctx.dag->Knows(first)) {
+      if (layer && !ctx.dag->Allows(*layer, first)) {
+        out.push_back(
+            {inc.line, kRuleLayerDag,
+             "layer `" + *layer + "` must not include `" + inc.path +
+                 "`: edge " + *layer + " -> " + first +
+                 " is not in the layer DAG"});
+      }
+      continue;
+    }
+    // Not a layer path: the include must resolve next to the including
+    // file (bench/repro_common.hpp style), otherwise it is a typo or an
+    // attempt to bypass the layer tree with a relative path.
+    const std::string dir = DirName(file.path);
+    const fs::path local =
+        ctx.root / (dir.empty() ? inc.path : dir + "/" + inc.path);
+    std::error_code ec;
+    if (!fs::exists(local, ec)) {
+      out.push_back({inc.line, kRuleLayerDag,
+                     "include `" + inc.path +
+                         "` is neither a `<layer>/...` path nor a file next "
+                         "to the including one"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// determinism-*
+// ---------------------------------------------------------------------------
+
+void CheckDeterminism(const SourceFile& file, std::vector<Candidate>& out) {
+  static const std::regex kRand(R"(\b(s?rand|rand_r|drand48)\s*\()");
+  static const std::regex kRandomDevice(R"(\brandom_device\b)");
+  static const std::regex kSystemClock(R"(\bsystem_clock\b)");
+  static const std::regex kGetenv(R"(\b(secure_)?getenv\b)");
+  static const std::regex kUnordered(
+      R"(\bunordered_(map|set|multimap|multiset)\b)");
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    if (std::regex_search(line, kRand) ||
+        std::regex_search(line, kRandomDevice)) {
+      out.push_back({i + 1, kRuleRand,
+                     "C PRNG / std::random_device is nondeterministic across "
+                     "runs; draw from common/Rng (its sequence is part of "
+                     "the fleet bit-identity contract)"});
+    }
+    if (std::regex_search(line, kSystemClock)) {
+      out.push_back({i + 1, kRuleTime,
+                     "wall-clock reads make results time-dependent; use "
+                     "steady_clock for durations (metadata only) or thread "
+                     "time in explicitly"});
+    }
+    if (std::regex_search(line, kGetenv)) {
+      out.push_back({i + 1, kRuleEnv,
+                     "environment reads make behaviour host-dependent; "
+                     "thread configuration through explicit parameters"});
+    }
+    if (std::regex_search(line, kUnordered)) {
+      out.push_back({i + 1, kRuleUnordered,
+                     "unordered container iteration order is a hash-seed "
+                     "accident; folding it into an accumulator or stream "
+                     "breaks bit-identity — use std::map/std::vector or "
+                     "iterate a sorted key list"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serialize-float
+// ---------------------------------------------------------------------------
+
+/// Byte offsets of each stripped line inside the joined text, so regex
+/// positions convert back to 1-based line numbers.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_start;
+
+  std::size_t LineOf(std::size_t pos) const {
+    const auto it =
+        std::upper_bound(line_start.begin(), line_start.end(), pos);
+    return static_cast<std::size_t>(it - line_start.begin());
+  }
+};
+
+JoinedCode JoinCode(const SourceFile& file) {
+  JoinedCode joined;
+  for (const std::string& line : file.code) {
+    joined.line_start.push_back(joined.text.size());
+    joined.text += line;
+    joined.text += '\n';
+  }
+  return joined;
+}
+
+/// Returns [begin, end) byte ranges of the bodies of functions named
+/// Serialize or Describe (definitions only — a trailing `;` after the
+/// parameter list means a declaration).
+std::vector<std::pair<std::size_t, std::size_t>> SerializeBodies(
+    const JoinedCode& joined) {
+  static const std::regex kName(R"(\b(Serialize|Describe)\s*\()");
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  const std::string& text = joined.text;
+  for (std::sregex_iterator it(text.begin(), text.end(), kName), end;
+       it != end; ++it) {
+    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+    int paren = 1;  // we are just past the '('.
+    while (pos < text.size() && paren > 0) {
+      if (text[pos] == '(') ++paren;
+      if (text[pos] == ')') --paren;
+      ++pos;
+    }
+    // Skip cv-qualifiers etc. between the signature and the body.
+    while (pos < text.size() && text[pos] != '{' && text[pos] != ';' &&
+           text[pos] != '(') {
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] != '{') continue;  // declaration.
+    const std::size_t body_begin = pos + 1;
+    int brace = 1;
+    ++pos;
+    while (pos < text.size() && brace > 0) {
+      if (text[pos] == '{') ++brace;
+      if (text[pos] == '}') --brace;
+      ++pos;
+    }
+    bodies.emplace_back(body_begin, pos);
+  }
+  return bodies;
+}
+
+void CheckSerializeFloat(TreeContext& ctx, const SourceFile& file,
+                         std::vector<Candidate>& out) {
+  const JoinedCode joined = JoinCode(file);
+  const auto bodies = SerializeBodies(joined);
+  if (bodies.empty()) return;
+  std::set<std::string> visiting;
+  const std::set<std::string>& floats = FloatIdents(ctx, file.path, visiting);
+
+  // `<< 1.5`, `<< .5f`, `<< 2e-3` — a literal double streamed bare.
+  static const std::regex kFloatLiteral(
+      R"(<<\s*[-+]?(?:\d+\.\d*|\.\d+|\d+(?:\.\d*)?[eE][-+]?\d+)[fFlL]?)");
+  // `<< mean`, `<< other.m2`, `<< range->lo_` — take the chain's last
+  // member and test it against the float-identifier set.
+  static const std::regex kIdentChain(
+      R"(<<\s*([A-Za-z_]\w*(?:(?:\.|->)[A-Za-z_]\w*)*))");
+
+  for (const auto& [begin, end] : bodies) {
+    const std::string body = joined.text.substr(begin, end - begin);
+    for (std::sregex_iterator it(body.begin(), body.end(), kFloatLiteral),
+         last;
+         it != last; ++it) {
+      out.push_back(
+          {joined.LineOf(begin + static_cast<std::size_t>(it->position())),
+           kRuleSerializeFloat,
+           "floating-point literal streamed bare inside a "
+           "Serialize/Describe body; write it through serdes::WriteDouble "
+           "(hexfloat) so the round trip stays bit-exact"});
+    }
+    for (std::sregex_iterator it(body.begin(), body.end(), kIdentChain), last;
+         it != last; ++it) {
+      const std::string chain = (*it)[1].str();
+      std::size_t cut = chain.rfind("->");
+      const std::size_t dot = chain.rfind('.');
+      if (cut == std::string::npos ||
+          (dot != std::string::npos && dot > cut)) {
+        cut = dot;
+      }
+      const std::string leaf =
+          cut == std::string::npos ? chain : chain.substr(cut + (chain[cut] == '-' ? 2 : 1));
+      if (floats.count(leaf)) {
+        out.push_back(
+            {joined.LineOf(begin + static_cast<std::size_t>(it->position())),
+             kRuleSerializeFloat,
+             "`" + chain +
+                 "` is floating-point and streamed bare inside a "
+                 "Serialize/Describe body; default ostream formatting "
+                 "truncates doubles — use serdes::WriteDouble"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// nodiscard
+// ---------------------------------------------------------------------------
+
+bool IsHeader(const std::string& path) {
+  return path.size() > 4 && (path.rfind(".hpp") == path.size() - 4 ||
+                             path.rfind(".h") == path.size() - 2);
+}
+
+void CheckNodiscard(const SourceFile& file, std::vector<Candidate>& out) {
+  if (!IsHeader(file.path)) return;
+  static const std::regex kEntryPoint(
+      R"((^|[\s&*>])((?:Parse|Merge|Deserialize)\w*|Validate)\s*\()");
+  static const std::set<std::string> kNotATypeWord = {
+      "return", "co_return", "case", "goto", "new", "delete", "throw"};
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    std::smatch m;
+    if (!std::regex_search(line, m, kEntryPoint)) continue;
+    // The text before the name must look like a declaration's return type:
+    // type-ish characters only, non-empty, not `void`, and not an
+    // expression keyword — otherwise this is a call, not a declaration.
+    std::string prefix = line.substr(0, static_cast<std::size_t>(m.position(2)));
+    if (prefix.find_first_not_of(
+            " \t[]&*<>,:abcdefghijklmnopqrstuvwxyz"
+            "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_") != std::string::npos) {
+      continue;
+    }
+    std::istringstream words(prefix);
+    std::string word, last;
+    bool has_type = false;
+    while (words >> word) {
+      last = word;
+      if (word != "static" && word != "inline" && word != "constexpr" &&
+          word != "friend" && word != "virtual" && word != "explicit") {
+        has_type = true;
+      }
+    }
+    if (!has_type || kNotATypeWord.count(last)) continue;
+    if (prefix.find("void") != std::string::npos &&
+        prefix.find("void*") == std::string::npos) {
+      continue;  // throw-based Validate() style: nothing to discard.
+    }
+    const bool marked =
+        line.find("[[nodiscard]]") != std::string::npos ||
+        (i > 0 && file.code[i - 1].find("[[nodiscard]]") != std::string::npos);
+    if (!marked) {
+      out.push_back({i + 1, kRuleNodiscard,
+                     "`" + m[2].str() +
+                         "` returns a value that is always a bug to ignore "
+                         "(parse/validate/merge entry point); declare it "
+                         "[[nodiscard]]"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// suppression processing
+// ---------------------------------------------------------------------------
+
+void ApplySuppressions(const SourceFile& file,
+                       std::vector<Candidate>& candidates, LintReport& report) {
+  const std::vector<std::string>& rules = RuleIds();
+  std::set<const Suppression*> used;
+  std::vector<Candidate> kept;
+  for (Candidate& c : candidates) {
+    bool suppressed = false;
+    for (const Suppression* s : file.SuppressionsOn(c.line)) {
+      if (s->rule == c.rule && c.rule != kRuleSuppression &&
+          !s->justification.empty()) {
+        used.insert(s);
+        suppressed = true;
+      }
+    }
+    if (suppressed) {
+      ++report.suppressions_honoured;
+    } else {
+      kept.push_back(std::move(c));
+    }
+  }
+  for (const Suppression& s : file.suppressions) {
+    if (std::find(rules.begin(), rules.end(), s.rule) == rules.end()) {
+      kept.push_back({s.line, kRuleSuppression,
+                      "allow(" + s.rule + ") names no shep_lint rule"});
+      continue;
+    }
+    if (s.justification.empty()) {
+      kept.push_back({s.line, kRuleSuppression,
+                      "allow(" + s.rule +
+                          ") needs a one-line justification after the "
+                          "closing paren — a waiver documents WHY the "
+                          "hazard is safe here"});
+      continue;
+    }
+    if (!used.count(&s)) {
+      kept.push_back({s.line, kRuleSuppression,
+                      "allow(" + s.rule +
+                          ") waives nothing on this line; delete the stale "
+                          "suppression"});
+    }
+  }
+  for (Candidate& c : kept) {
+    report.findings.push_back(
+        {file.path, c.line, std::move(c.rule), std::move(c.message)});
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& RuleIds() {
+  static const std::vector<std::string> kIds = {
+      kRuleLayerDag,  kRuleRand,      kRuleTime,      kRuleEnv,
+      kRuleUnordered, kRuleSerializeFloat, kRuleNodiscard, kRuleSuppression};
+  return kIds;
+}
+
+LintReport LintTree(const std::filesystem::path& root) {
+  TreeContext ctx;
+  ctx.root = root;
+  ctx.dag = &LayerDag::Project();
+
+  static const std::vector<std::string> kDirs = {"src", "tests", "bench",
+                                                 "examples"};
+  static const std::set<std::string> kExtensions = {".hpp", ".h", ".cpp",
+                                                    ".cc"};
+  for (const std::string& dir : kDirs) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    if (!fs::is_directory(base, ec)) continue;
+    for (fs::recursive_directory_iterator it(base), end; it != end; ++it) {
+      if (!it->is_regular_file()) continue;
+      if (!kExtensions.count(it->path().extension().string())) continue;
+      const std::string rel =
+          fs::relative(it->path(), root).generic_string();
+      ctx.files.emplace(rel, LoadSource(it->path(), rel));
+    }
+  }
+
+  LintReport report;
+  report.files_scanned = ctx.files.size();
+  for (auto& [rel, file] : ctx.files) {
+    const FileCategory category = rel.rfind("src/", 0) == 0
+                                      ? FileCategory::kLayerSource
+                                      : FileCategory::kConsumer;
+    std::vector<Candidate> candidates;
+    CheckLayerDag(ctx, file, category, candidates);
+    if (category == FileCategory::kLayerSource) {
+      CheckDeterminism(file, candidates);
+      CheckSerializeFloat(ctx, file, candidates);
+      CheckNodiscard(file, candidates);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+              });
+    ApplySuppressions(file, candidates, report);
+  }
+  return report;
+}
+
+std::string FormatFindings(const LintReport& report, bool github) {
+  std::ostringstream os;
+  for (const Finding& f : report.findings) {
+    if (github) {
+      os << "::error file=" << f.file << ",line=" << f.line
+         << ",title=shep_lint " << f.rule << "::" << f.message << '\n';
+    } else {
+      os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+         << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace shep::lint

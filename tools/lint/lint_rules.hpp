@@ -1,0 +1,87 @@
+// lint_rules.hpp — the shep_lint rule catalogue.
+//
+// Three rule families guard the invariants the fleet subsystem's tests can
+// only sample:
+//
+//  * layer-dag            — every `#include "<layer>/..."` edge must be in
+//                           the (reflexive-transitive closure of the) layer
+//                           DAG; tests/bench/examples are consumers and may
+//                           include any layer, but unknown layers and
+//                           unresolvable local includes still fail.
+//  * determinism-*        — bit-identity at any thread count / shard
+//                           grouping / process boundary is the fleet
+//                           contract, so nondeterminism sources are banned
+//                           in src/: C PRNGs and std::random_device
+//                           (determinism-rand), wall-clock reads via
+//                           system_clock (determinism-time; steady_clock is
+//                           fine — it only feeds runtime metadata),
+//                           environment reads (determinism-env), and
+//                           unordered associative containers, whose
+//                           iteration order is a hash-seed accident that
+//                           must never feed an accumulator or a serialized
+//                           stream (determinism-unordered).
+//  * serialize-float      — Serialize()/Describe() bodies in src/ must
+//                           write floating-point values through the shared
+//                           serdes hexfloat helpers, never bare
+//                           `operator<<`: default ostream formatting
+//                           truncates to 6 significant digits, which
+//                           silently breaks the bit-exact round trip the
+//                           distributed merge depends on.
+//
+// plus two hygiene rules:
+//
+//  * nodiscard            — value-returning Parse*/Merge*/Deserialize*/
+//                           Validate entry points declared in src/ headers
+//                           must be [[nodiscard]]: discarding a parse or
+//                           merge result is always a bug.
+//  * suppression          — `// shep-lint: allow(<rule>)` waivers must name
+//                           a real rule and carry a justification; this
+//                           rule is itself unsuppressable.
+//
+// Any rule except `suppression` is waived on a line carrying
+// `// shep-lint: allow(<rule>) <justification>`.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "include_graph.hpp"
+#include "source_scan.hpp"
+
+namespace shep::lint {
+
+/// Where a file sits, which decides the rule set applied to it:
+/// layer sources get every family; consumers (tests/bench/examples) only
+/// the include checks — a test may legitimately use clocks or rand to
+/// exercise error paths.
+enum class FileCategory { kLayerSource, kConsumer };
+
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// All rule ids, for validating allow(...) names.
+const std::vector<std::string>& RuleIds();
+
+/// Result of linting a tree.
+struct LintReport {
+  std::vector<Finding> findings;
+  std::size_t files_scanned = 0;
+  std::size_t suppressions_honoured = 0;
+};
+
+/// Lints every *.hpp/*.cpp under root/{src,tests,bench,examples}.
+/// `root` must exist; missing subdirectories are skipped (fixture trees
+/// usually carry only src/).
+LintReport LintTree(const std::filesystem::path& root);
+
+/// One finding per line, gcc-style (`path:line: [rule] message`), or as
+/// GitHub Actions workflow commands when `github` is set so CI failures
+/// annotate the offending file:line in the diff view.
+std::string FormatFindings(const LintReport& report, bool github);
+
+}  // namespace shep::lint

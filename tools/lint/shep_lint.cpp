@@ -1,0 +1,63 @@
+// shep_lint — project-specific static analysis for the shep tree.
+//
+// Usage:
+//   shep_lint [--github] <repo-root>     lint src/ tests/ bench/ examples/
+//   shep_lint --dag                      print the layer DAG table
+//
+// Exit codes: 0 clean, 1 findings, 2 usage/IO error.
+//
+// The tool runs as a CTest case over the real tree (`ctest -R lint_tree`)
+// and as the CI `lint` job; rule catalogue and suppression syntax are
+// documented in README.md ("Correctness tooling").
+
+#include <cstdio>
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "include_graph.hpp"
+#include "lint_rules.hpp"
+
+int main(int argc, char** argv) {
+  bool github = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--github") {
+      github = true;
+    } else if (arg == "--dag") {
+      std::cout << shep::lint::LayerDag::Project().Describe();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: shep_lint [--github] <repo-root> | shep_lint --dag\n";
+      return 0;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 1) {
+    std::cerr << "usage: shep_lint [--github] <repo-root> | shep_lint --dag\n";
+    return 2;
+  }
+
+  try {
+    const shep::lint::LintReport report = shep::lint::LintTree(positional[0]);
+    if (report.files_scanned == 0) {
+      std::cerr << "shep_lint: nothing to scan under " << positional[0]
+                << " (expected src/, tests/, bench/, or examples/)\n";
+      return 2;
+    }
+    std::cout << shep::lint::FormatFindings(report, github);
+    std::cerr << "shep_lint: " << report.findings.size() << " finding"
+              << (report.findings.size() == 1 ? "" : "s") << " in "
+              << report.files_scanned << " files ("
+              << report.suppressions_honoured << " suppression"
+              << (report.suppressions_honoured == 1 ? "" : "s")
+              << " honoured)\n";
+    return report.findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "shep_lint: " << e.what() << '\n';
+    return 2;
+  }
+}
