@@ -3,7 +3,8 @@
 //
 // Runs the same scenario serially and on a full thread pool and reports
 // per-stage wall times (weather synthesis vs node simulation), per-stage
-// throughput, and the parallel speedup as a single JSON object on stdout,
+// throughput, the parallel speedup, and the advisory cost of attaching a
+// stats-only TraceSink as a single JSON object on stdout,
 // so CI can archive the file (BENCH_fleet.json) and the perf trajectory of
 // the batch layer is tracked across PRs.  A standalone main rather than a
 // google-benchmark binary: the measured region is seconds long, needs no
@@ -34,6 +35,7 @@
 #include "common/threadpool.hpp"
 #include "fleet/runner.hpp"
 #include "fleet/trace_cache.hpp"
+#include "trace/sink.hpp"
 
 namespace {
 
@@ -108,13 +110,13 @@ int main(int argc, char** argv) {
   spec.node.duty.active_power_w = 0.40;
   spec.node.warmup_days = 20;
 
-  FleetRunInfo serial_info;
+  FleetRunStats serial_info;
   const FleetSummary serial = RunFleet(spec, {}, &serial_info);
 
   ThreadPool pool;
   FleetRunOptions parallel_options;
   parallel_options.pool = &pool;
-  FleetRunInfo parallel_info;
+  FleetRunStats parallel_info;
   const FleetSummary parallel = RunFleet(spec, parallel_options,
                                          &parallel_info);
 
@@ -134,6 +136,7 @@ int main(int argc, char** argv) {
     identical = moments_equal(a.violation_rate, b.violation_rate) &&
                 moments_equal(a.mean_duty, b.mean_duty) &&
                 moments_equal(a.wasted_fraction, b.wasted_fraction) &&
+                moments_equal(a.min_soc, b.min_soc) &&
                 moments_equal(a.mape, b.mape) &&
                 moments_equal(a.cycles_per_wakeup, b.cycles_per_wakeup) &&
                 moments_equal(a.ops_per_wakeup, b.ops_per_wakeup) &&
@@ -155,9 +158,9 @@ int main(int argc, char** argv) {
   FleetRunOptions cached_options;
   cached_options.pool = &pool;
   cached_options.trace_cache = &cache;
-  FleetRunInfo cold_info;
+  FleetRunStats cold_info;
   const FleetSummary cold = RunFleet(spec, cached_options, &cold_info);
-  FleetRunInfo warm_info;
+  FleetRunStats warm_info;
   const FleetSummary warm = RunFleet(spec, cached_options, &warm_info);
   if (cold.ToCsv() != serial.ToCsv() || warm.ToCsv() != serial.ToCsv()) {
     std::cerr << "FATAL: trace-cached summaries diverge\n";
@@ -165,6 +168,23 @@ int main(int argc, char** argv) {
   }
   if (warm_info.trace_cache_misses != 0) {
     std::cerr << "FATAL: warm run missed the trace cache\n";
+    return 1;
+  }
+
+  // Telemetry overhead, priced honestly: the same parallel run with a
+  // TraceSink attached in stats-only mode (empty directory — full probe,
+  // ring, and drain cost, no disk noise).  Advisory JSON fields only; the
+  // regression gate below still reads the untraced nodes_per_second, so
+  // tracing cost shows up in the trajectory without ever tripping the
+  // build.
+  TraceSink trace_sink;  // default options: directory empty.
+  FleetRunOptions traced_options;
+  traced_options.pool = &pool;
+  traced_options.trace_sink = &trace_sink;
+  FleetRunStats traced_info;
+  const FleetSummary traced = RunFleet(spec, traced_options, &traced_info);
+  if (traced.ToCsv() != serial.ToCsv()) {
+    std::cerr << "FATAL: traced summary diverges from untraced\n";
     return 1;
   }
 
@@ -216,7 +236,18 @@ int main(int argc, char** argv) {
        << "  \"cache_warm_synth_seconds\": " << warm_info.synth_seconds
        << ",\n"
        << "  \"cache_hits\": " << warm_info.trace_cache_hits << ",\n"
-       << "  \"cache_misses\": " << cold_info.trace_cache_misses << "\n"
+       << "  \"cache_misses\": " << cold_info.trace_cache_misses << ",\n"
+       << "  \"traced_sim_seconds\": " << traced_info.sim_seconds << ",\n"
+       << "  \"traced_sim_nodes_per_second\": "
+       << rate(nodes, traced_info.sim_seconds) << ",\n"
+       << "  \"trace_overhead_pct\": "
+       << (parallel_info.sim_seconds > 0.0
+               ? 100.0 * traced_info.sim_seconds / parallel_info.sim_seconds -
+                     100.0
+               : 0.0)
+       << ",\n"
+       << "  \"trace_events\": " << traced_info.trace_events << ",\n"
+       << "  \"trace_dropped\": " << traced_info.trace_dropped << "\n"
        << "}\n";
   std::cout << json.str();
 

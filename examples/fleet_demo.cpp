@@ -21,6 +21,7 @@
 
 #include "common/threadpool.hpp"
 #include "fleet/runner.hpp"
+#include "fleet/trace_cache.hpp"
 
 int main(int argc, char** argv) try {
   using namespace shep;
@@ -67,17 +68,27 @@ int main(int argc, char** argv) try {
   spec.initial_level_jitter = 0.25;  // nodes deployed at different charge.
 
   ThreadPool pool;
+  TraceCache cache;
   FleetRunOptions options;
   options.pool = &pool;
-  FleetRunInfo info;
+  options.trace_cache = &cache;
+  FleetRunStats info;
   const FleetSummary summary = RunFleet(spec, options, &info);
 
   std::cout << summary.ToTable() << '\n';
   std::cout << "nodes=" << summary.node_count << " cells="
             << summary.cells.size() << " unique_traces="
             << info.unique_traces << " shards=" << info.shards
-            << " threads=" << info.threads << " synth_s="
-            << info.synth_seconds << " sim_s=" << info.sim_seconds << "\n\n";
+            << " threads=" << info.threads << '\n';
+  std::cout << "phases: synth_s=" << info.synth_seconds << " sim_s="
+            << info.sim_seconds << " merge_s=" << info.merge_seconds
+            << "  trace_cache: hits=" << info.trace_cache_hits << " misses="
+            << info.trace_cache_misses << '\n';
+  std::cout << "telemetry: events=" << info.trace_events << " dropped="
+            << info.trace_dropped << " slot_records="
+            << info.trace_slot_records << " day_records="
+            << info.trace_day_records << " files=" << info.trace_shard_files
+            << " (no sink attached — see fleet_distributed_demo)\n\n";
   std::cout << summary.ToCsv();
   return 0;
 } catch (const std::exception& e) {

@@ -11,10 +11,17 @@
 // A shared TraceCache stands in for a per-machine trace store: workers
 // whose shards read the same weather lanes synthesize each lane once.
 //
-// Usage: fleet_distributed_demo [workers] [nodes_per_cell]  (defaults 3, 4)
+// With a third argument the run also streams node telemetry: a TraceSink
+// writes one selectively-persisted trace file per shard into that
+// directory, ready for `shep_trace list|slots|days` — the pipeline the CI
+// telemetry smoke step exercises.
+//
+// Usage: fleet_distributed_demo [workers] [nodes_per_cell] [trace_dir]
+//        (defaults 3, 4, tracing off)
 #include <cstdlib>
 #include <exception>
 #include <iostream>
+#include <memory>
 #include <numeric>
 #include <string>
 #include <vector>
@@ -24,6 +31,7 @@
 #include "fleet/runner.hpp"
 #include "fleet/shard_plan.hpp"
 #include "fleet/trace_cache.hpp"
+#include "trace/sink.hpp"
 
 int main(int argc, char** argv) try {
   using namespace shep;
@@ -68,6 +76,17 @@ int main(int argc, char** argv) try {
   options.pool = &pool;
   options.trace_cache = &cache;
 
+  // Optional telemetry: every worker's shards stream through one sink, so
+  // the directory ends up with plan.shards.size() files that shep_trace
+  // can query per shard or joined.
+  std::unique_ptr<TraceSink> sink;
+  if (argc > 3) {
+    TraceSinkOptions sink_options;
+    sink_options.directory = argv[3];
+    sink = std::make_unique<TraceSink>(sink_options);
+    options.trace_sink = sink.get();
+  }
+
   std::vector<std::vector<std::size_t>> assignment(workers);
   for (std::size_t i = 0; i < plan.shards.size(); ++i) {
     assignment[i % workers].push_back(i);
@@ -76,7 +95,7 @@ int main(int argc, char** argv) try {
   std::vector<std::string> wire;  // the serialized partials "in flight".
   for (std::size_t w = 0; w < assignment.size(); ++w) {
     if (assignment[w].empty()) continue;  // more workers than shards.
-    FleetRunInfo info;
+    FleetRunStats info;
     const FleetPartial partial =
         RunFleetShards(plan, assignment[w], options, &info);
     wire.push_back(partial.Serialize());
@@ -85,11 +104,25 @@ int main(int argc, char** argv) try {
               << " lanes (" << info.trace_cache_hits << " cache hits, "
               << info.trace_cache_misses << " misses), "
               << wire.back().size() << " bytes serialized\n";
+    if (sink) {
+      std::cout << "  telemetry: " << info.trace_events << " events, "
+                << info.trace_dropped << " dropped, "
+                << info.trace_slot_records << " slot records, "
+                << info.trace_day_records << " day summaries, "
+                << info.trace_shard_files << " files\n";
+    }
   }
   const TraceCache::Stats cache_stats = cache.stats();
   std::cout << "trace cache: " << cache_stats.entries << " entries, "
             << cache_stats.hits << " hits, " << cache_stats.misses
-            << " misses\n\n";
+            << " misses\n";
+  if (sink) {
+    const TraceSinkStats ts = sink->stats();
+    std::cout << "trace sink: " << ts.shard_files << " files in "
+              << sink->options().directory << " (" << ts.events
+              << " events, " << ts.dropped << " dropped)\n";
+  }
+  std::cout << '\n';
 
   // ---- Stage 3: parse the wire bytes back and merge in plan order. -------
   std::vector<FleetPartial> partials;
@@ -99,7 +132,12 @@ int main(int argc, char** argv) try {
   const FleetSummary merged = MergeFleetPartials(plan, partials);
 
   // ---- Proof: the monolithic run produces the same bits. -----------------
-  const FleetSummary monolithic = RunFleet(spec, options);
+  // Untraced on purpose: it covers every shard, so a shared sink would
+  // rewrite the distributed run's files (same fingerprint, same names) —
+  // and the equality below proving tracing changed nothing is the point.
+  FleetRunOptions monolithic_options = options;
+  monolithic_options.trace_sink = nullptr;
+  const FleetSummary monolithic = RunFleet(spec, monolithic_options);
   bool identical = merged.ToTable() == monolithic.ToTable() &&
                    merged.ToCsv() == monolithic.ToCsv();
   for (std::size_t i = 0; identical && i < merged.stats.size(); ++i) {
@@ -115,6 +153,7 @@ int main(int argc, char** argv) try {
   return identical ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "fleet_distributed_demo: " << e.what()
-            << "\nUsage: fleet_distributed_demo [workers] [nodes_per_cell]\n";
+            << "\nUsage: fleet_distributed_demo [workers] [nodes_per_cell]"
+               " [trace_dir]\n";
   return 1;
 }

@@ -1,9 +1,7 @@
 #include "fleet/aggregate.hpp"
 
 #include <algorithm>
-#include <cerrno>
 #include <cmath>
-#include <cstdlib>
 #include <istream>
 #include <ostream>
 
@@ -12,58 +10,6 @@
 #include "report/table.hpp"
 
 namespace shep {
-
-namespace serdes {
-
-void WriteDouble(std::ostream& os, double value) {
-  // Hexfloat is exact for every finite double; infinities and NaNs print
-  // as "inf"/"nan", which strtod parses back (NaN payloads don't matter —
-  // no aggregate field ever merges on one).
-  const auto flags = os.flags();
-  os << std::hexfloat << value;
-  os.flags(flags);
-}
-
-double ReadDouble(std::istream& is) {
-  std::string token;
-  is >> token;
-  SHEP_REQUIRE(!token.empty(), "unexpected end of serialized input");
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  errno = 0;
-  const double value = std::strtod(begin, &end);
-  // Reject overflowed decimals ("1e999" → ±HUGE_VAL + ERANGE): no
-  // Serialize call emits them (hexfloat never overflows strtod), so one
-  // in the wire text is corruption, not data.  Underflow (ERANGE with a
-  // tiny result) stays accepted — subnormal hexfloats parse exactly.
-  SHEP_REQUIRE(end == begin + token.size() &&
-                   !(errno == ERANGE && std::abs(value) == HUGE_VAL),
-               "malformed serialized double: " + token);
-  return value;
-}
-
-std::uint64_t ReadU64(std::istream& is) {
-  std::string token;
-  is >> token;
-  SHEP_REQUIRE(!token.empty(), "unexpected end of serialized input");
-  const char* begin = token.c_str();
-  char* end = nullptr;
-  errno = 0;  // strtoull reports overflow only through ERANGE.
-  const unsigned long long value = std::strtoull(begin, &end, 10);
-  SHEP_REQUIRE(end == begin + token.size() && token[0] != '-' &&
-                   errno != ERANGE,
-               "malformed serialized integer: " + token);
-  return static_cast<std::uint64_t>(value);
-}
-
-void ExpectToken(std::istream& is, const std::string& keyword) {
-  std::string token;
-  is >> token;
-  SHEP_REQUIRE(token == keyword,
-               "expected `" + keyword + "`, got `" + token + "`");
-}
-
-}  // namespace serdes
 
 void StreamingMoments::Add(double x) {
   if (count == 0) {
@@ -243,6 +189,7 @@ void CellAccumulator::Add(const NodeSimResult& result) {
   mean_duty.Add(result.mean_duty);
   wasted_fraction.Add(
       result.harvested_j > 0.0 ? result.overflow_j / result.harvested_j : 0.0);
+  min_soc.Add(result.min_level_fraction);
   // A node with no in-ROI slots has no measured accuracy; averaging its 0.0
   // placeholder would fake a perfect MAPE, so such nodes are left out (the
   // mape moments keep their own count).
@@ -264,6 +211,7 @@ void CellAccumulator::Merge(const CellAccumulator& other) {
   violation_rate.Merge(other.violation_rate);
   mean_duty.Merge(other.mean_duty);
   wasted_fraction.Merge(other.wasted_fraction);
+  min_soc.Merge(other.min_soc);
   mape.Merge(other.mape);
   violation_hist.Merge(other.violation_hist);
   violations += other.violations;
@@ -277,6 +225,7 @@ void CellAccumulator::Serialize(std::ostream& os) const {
   violation_rate.Serialize(os);
   mean_duty.Serialize(os);
   wasted_fraction.Serialize(os);
+  min_soc.Serialize(os);
   mape.Serialize(os);
   cycles_per_wakeup.Serialize(os);
   ops_per_wakeup.Serialize(os);
@@ -290,6 +239,7 @@ CellAccumulator CellAccumulator::Deserialize(std::istream& is) {
   acc.violation_rate = StreamingMoments::Deserialize(is);
   acc.mean_duty = StreamingMoments::Deserialize(is);
   acc.wasted_fraction = StreamingMoments::Deserialize(is);
+  acc.min_soc = StreamingMoments::Deserialize(is);
   acc.mape = StreamingMoments::Deserialize(is);
   acc.cycles_per_wakeup = StreamingMoments::Deserialize(is);
   acc.ops_per_wakeup = StreamingMoments::Deserialize(is);
@@ -336,7 +286,7 @@ TableBuilder BuildSummaryTable(const FleetSummary& summary, bool csv) {
   };
   table.Columns({"site", "predictor", "storage_j", "nodes", "viol_mean",
                  "viol_p50", "viol_p95", "viol_max", "mean_duty",
-                 "wasted_harvest", "mape", "cyc_mean", "cyc_p95",
+                 "wasted_harvest", "min_soc", "mape", "cyc_mean", "cyc_p95",
                  "ops_mean"});
   std::size_t last_site = 0;
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
@@ -350,6 +300,10 @@ TableBuilder BuildSummaryTable(const FleetSummary& summary, bool csv) {
                   fmt(quantile(s, 0.95)),
                   fmt(s.violation_rate.max), fmt(s.mean_duty.mean),
                   fmt(s.wasted_fraction.mean),
+                  // The fleet-wide storage low-water mark: the mean across
+                  // nodes of each node's minimum SoC fraction, recorded per
+                  // node since the first runner but surfaced here.
+                  fmt(s.min_soc.mean),
                   // No node of the cell had an in-ROI slot: accuracy was
                   // not measured, which is not the same as perfect.
                   s.mape.valid() ? fmt(s.mape.mean) : std::string("n/a"),

@@ -23,26 +23,16 @@
 #include <string>
 #include <vector>
 
+// The serdes hexfloat helpers moved to common/serdes.hpp (the trace layer
+// shares them); this include keeps every fleet serializer spelling them
+// shep::serdes::* unchanged.
+#include "common/serdes.hpp"
+
 #include "common/mathutil.hpp"
 #include "fleet/scenario.hpp"
 #include "mgmt/node_sim.hpp"
 
 namespace shep {
-
-/// Token-level helpers shared by every fleet text (de)serializer
-/// (aggregates here, FleetPartial / ShardPlan in fleet/partial and
-/// fleet/shard_plan).  Doubles travel as hexfloats: exact round trip, no
-/// locale or precision pitfalls.  Readers throw std::invalid_argument on
-/// malformed input, naming the offending token.
-namespace serdes {
-
-void WriteDouble(std::ostream& os, double value);
-double ReadDouble(std::istream& is);
-std::uint64_t ReadU64(std::istream& is);
-/// Reads one token and requires it to equal `keyword` (format framing).
-void ExpectToken(std::istream& is, const std::string& keyword);
-
-}  // namespace serdes
 
 /// Single-pass count/mean/variance/extrema accumulator: the shared
 /// Welford core (common/mathutil.hpp — one implementation of the
@@ -116,6 +106,7 @@ struct CellAccumulator {
   StreamingMoments violation_rate;   ///< per-node brown-out rate.
   StreamingMoments mean_duty;        ///< per-node achieved duty cycle.
   StreamingMoments wasted_fraction;  ///< per-node overflow_j / harvested_j.
+  StreamingMoments min_soc;          ///< per-node storage low-water mark.
   StreamingMoments mape;             ///< per-node prediction MAPE.
   FixedHistogram violation_hist;     ///< violation-rate distribution.
   std::uint64_t violations = 0;      ///< summed brown-out slots.
@@ -145,7 +136,7 @@ struct CellAccumulator {
 
 /// The deterministic output of a fleet run: the expanded cells plus one
 /// accumulator per cell (parallel vectors).  Runtime metadata (threads,
-/// wall time) deliberately lives elsewhere (FleetRunInfo) so this value is
+/// wall time) deliberately lives elsewhere (FleetRunStats) so this value is
 /// comparable across runs.
 struct FleetSummary {
   std::string scenario_name;

@@ -18,6 +18,7 @@
 #include "solar/sites.hpp"
 #include "solar/synth.hpp"
 #include "timeseries/slotting.hpp"
+#include "trace/probe.hpp"
 
 namespace shep {
 
@@ -29,11 +30,18 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-}  // namespace
-
-NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
-                               const SlotSeries& series,
-                               const NodeSimConfig& config) {
+/// The per-kind dispatch behind SimulateSpecNode, parameterized on the
+/// kernel's slot probe so the traced and untraced paths share one
+/// definition.  With NoSlotProbe the probe call sites vanish and this IS
+/// the untraced hot path; with NodeTraceProbe each slot is offered to the
+/// worker's ring.  The probe never feeds back into the simulation, so both
+/// instantiations produce bit-identical results.
+template <class Probe>
+NodeSimResult SimulateSpecNodeImpl(const PredictorSpec& spec,
+                                   int slots_per_day,
+                                   const SlotSeries& series,
+                                   const NodeSimConfig& config,
+                                   const Probe& probe) {
   // The hot fleet kinds get a stack-constructed concrete predictor and the
   // statically dispatched kernel; anything else takes the generic path.
   // Every branch reproduces PredictorSpec::Make's construction exactly, so
@@ -41,31 +49,43 @@ NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
   switch (spec.kind) {
     case PredictorKind::kWcma: {
       Wcma predictor(spec.wcma, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config);
+      return SimulateNodeKernel(predictor, series, config, probe);
     }
     case PredictorKind::kWcmaFixed: {
       CostedFixedWcma predictor(spec.wcma, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config);
+      return SimulateNodeKernel(predictor, series, config, probe);
     }
     case PredictorKind::kEwma: {
       Ewma predictor(spec.ewma_weight, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config);
+      return SimulateNodeKernel(predictor, series, config, probe);
     }
     case PredictorKind::kAr: {
       ArPredictor predictor(spec.ar, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config);
+      return SimulateNodeKernel(predictor, series, config, probe);
     }
     default: {
       const auto predictor = spec.Make(slots_per_day);
-      return SimulateNode(*predictor, series, config);
+      // The kernel at P = Predictor is exactly the virtual SimulateNode
+      // entry point, here with the probe threaded through.
+      Predictor& base = *predictor;
+      return SimulateNodeKernel(base, series, config, probe);
     }
   }
+}
+
+}  // namespace
+
+NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
+                               const SlotSeries& series,
+                               const NodeSimConfig& config) {
+  return SimulateSpecNodeImpl(spec, slots_per_day, series, config,
+                              NoSlotProbe{});
 }
 
 FleetPartial RunFleetShards(const ShardPlan& plan,
                             const std::vector<std::size_t>& shard_subset,
                             const FleetRunOptions& options,
-                            FleetRunInfo* info) {
+                            FleetRunStats* stats) {
   SHEP_REQUIRE(!shard_subset.empty(), "shard subset must not be empty");
   std::vector<std::size_t> subset = shard_subset;
   std::sort(subset.begin(), subset.end());
@@ -142,11 +162,40 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
   partial.plan_fingerprint = plan.fingerprint;
   partial.shards.resize(subset.size());
 
+  // Opt-in telemetry: announce the run to the sink and make sure every
+  // batch worker has a ring before the first probe fires.  Stats are
+  // snapshotted so a shared sink reports per-run deltas.
+  TraceSink* const sink = options.trace_sink;
+  TraceSinkStats sink_before;
+  if (sink != nullptr) {
+    TraceRunContext context;
+    context.scenario_name = s.name;
+    context.fingerprint = plan.fingerprint;
+    context.slots_per_day = static_cast<std::uint32_t>(s.slots_per_day);
+    context.days = static_cast<std::uint32_t>(s.days);
+    context.cells.reserve(matrix.cells.size());
+    for (const ScenarioCell& cell : matrix.cells) {
+      context.cells.push_back({static_cast<std::uint64_t>(cell.index),
+                               cell.site_code, cell.predictor_label,
+                               cell.storage_j});
+    }
+    sink->BeginRun(context);
+    sink->EnsureWorkers(ParallelWorkerCount(options.pool, subset.size()));
+    sink_before = sink->stats();
+  }
+
   t0 = std::chrono::steady_clock::now();
-  ParallelFor(options.pool, subset.size(), [&](std::size_t n) {
+  // Worker-indexed so a traced run can push onto a per-worker ring: each
+  // shard runs whole on one worker (the ParallelForWorker contract), which
+  // keeps every ring single-producer and every shard's event stream
+  // contiguous.  Untraced runs take the identical schedule (ParallelFor is
+  // ParallelForWorker minus the id), so the summary cannot depend on it.
+  ParallelForWorker(options.pool, subset.size(),
+                    [&](std::size_t worker, std::size_t n) {
     const ShardRange& range = plan.shards[subset[n]];
     ShardCells& local = partial.shards[n];
     local.shard = range.index;
+    std::uint64_t trace_dropped = 0;
     for (std::size_t i = range.begin_node; i < range.end_node; ++i) {
       const FleetNodeConfig& node = matrix.nodes[i];
       const ScenarioCell& cell = matrix.cells[node.cell];
@@ -156,17 +205,34 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
       config.storage.capacity_j = cell.storage_j;
       config.initial_level_fraction = node.initial_level_fraction;
 
-      const NodeSimResult result =
-          SimulateSpecNode(s.predictors[cell.predictor_index],
-                           s.slots_per_day, *series[lane], config);
+      NodeSimResult result;
+      if (sink != nullptr) {
+        NodeTraceProbe probe;
+        probe.ring = &sink->ring(worker);
+        probe.shard = range.index;
+        probe.node = node.index;
+        probe.cell = node.cell;
+        probe.dropped = &trace_dropped;
+        result = SimulateSpecNodeImpl(s.predictors[cell.predictor_index],
+                                      s.slots_per_day, *series[lane], config,
+                                      probe);
+      } else {
+        result = SimulateSpecNode(s.predictors[cell.predictor_index],
+                                  s.slots_per_day, *series[lane], config);
+      }
 
       if (local.cells.empty() || local.cells.back().first != node.cell) {
         local.cells.emplace_back(node.cell, CellAccumulator{});
       }
       local.cells.back().second.Add(result);
     }
+    if (sink != nullptr) sink->EndShard(worker, range.index, trace_dropped);
   });
   const double sim_seconds = SecondsSince(t0);
+  // Drain everything before reporting so trace files and counters cover
+  // the whole run; deliberately outside the sim_seconds window (the
+  // in-loop cost of tracing is what bench_fleet prices).
+  if (sink != nullptr) sink->Flush();
 
   partial.nodes_simulated = 0;
   for (std::size_t shard : subset) {
@@ -175,14 +241,24 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
   partial.synth_seconds = synth_seconds;
   partial.sim_seconds = sim_seconds;
 
-  if (info != nullptr) {
-    info->threads = options.pool != nullptr ? options.pool->thread_count() : 1;
-    info->shards = subset.size();
-    info->unique_traces = needed.size();
-    info->synth_seconds = synth_seconds;
-    info->sim_seconds = sim_seconds;
-    info->trace_cache_hits = cache_hits.load();
-    info->trace_cache_misses = cache_misses.load();
+  if (stats != nullptr) {
+    stats->threads =
+        options.pool != nullptr ? options.pool->thread_count() : 1;
+    stats->shards = subset.size();
+    stats->unique_traces = needed.size();
+    stats->synth_seconds = synth_seconds;
+    stats->sim_seconds = sim_seconds;
+    stats->trace_cache_hits = cache_hits.load();
+    stats->trace_cache_misses = cache_misses.load();
+    if (sink != nullptr) {
+      const TraceSinkStats after = sink->stats();
+      stats->trace_events = after.events - sink_before.events;
+      stats->trace_dropped = after.dropped - sink_before.dropped;
+      stats->trace_slot_records =
+          after.slot_records - sink_before.slot_records;
+      stats->trace_day_records = after.day_records - sink_before.day_records;
+      stats->trace_shard_files = after.shard_files - sink_before.shard_files;
+    }
   }
   return partial;
 }
@@ -232,15 +308,18 @@ FleetSummary MergeFleetPartials(const ShardPlan& plan,
 }
 
 FleetSummary RunFleet(const ScenarioSpec& spec, const FleetRunOptions& options,
-                      FleetRunInfo* info) {
+                      FleetRunStats* stats) {
   const ShardPlan plan = BuildShardPlan(spec, options.shard_size);
   std::vector<std::size_t> all(plan.shards.size());
   std::iota(all.begin(), all.end(), 0);
   // Not brace-init: initializer_list elements are const, so {std::move(p)}
   // would silently deep-copy every accumulator of the run.
   std::vector<FleetPartial> partials;
-  partials.push_back(RunFleetShards(plan, all, options, info));
-  return MergeFleetPartials(plan, partials);
+  partials.push_back(RunFleetShards(plan, all, options, stats));
+  const auto t0 = std::chrono::steady_clock::now();
+  FleetSummary summary = MergeFleetPartials(plan, partials);
+  if (stats != nullptr) stats->merge_seconds = SecondsSince(t0);
+  return summary;
 }
 
 }  // namespace shep

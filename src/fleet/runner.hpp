@@ -35,6 +35,7 @@
 #include "fleet/scenario.hpp"
 #include "fleet/shard_plan.hpp"
 #include "fleet/trace_cache.hpp"
+#include "trace/sink.hpp"
 
 namespace shep {
 
@@ -51,20 +52,35 @@ struct FleetRunOptions {
   /// scenarios synthesize each lane once.  Results are bit-identical with
   /// and without it; only phase-1 wall time changes.
   TraceCache* trace_cache = nullptr;
+  /// Opt-in streaming telemetry: when set, every simulated slot is offered
+  /// to the sink's per-worker rings and each shard produces one trace file
+  /// (trace/sink.hpp).  Strictly observational — the summary is
+  /// byte-identical with and without it (pinned by
+  /// tests/test_trace_sink.cpp); only wall time changes.
+  TraceSink* trace_sink = nullptr;
 };
 
 /// Runtime metadata of one run; kept out of FleetSummary so summaries stay
 /// comparable across machines and thread counts.
-struct FleetRunInfo {
+struct FleetRunStats {
   std::size_t threads = 1;
   std::size_t shards = 0;         ///< shards executed by this run.
   std::size_t unique_traces = 0;  ///< lanes this run's shards read.
   double synth_seconds = 0.0;     ///< phase 1 wall time.
   double sim_seconds = 0.0;       ///< phase 2 wall time (merge excluded —
                                   ///< stage 3 may run in another process).
+  double merge_seconds = 0.0;     ///< stage 3 wall time (RunFleet only;
+                                  ///< stays 0 for bare RunFleetShards).
   /// TraceCache counter deltas of this run (0 when no cache was given).
   std::uint64_t trace_cache_hits = 0;
   std::uint64_t trace_cache_misses = 0;
+  /// Telemetry deltas of this run (all 0 when no trace sink was given).
+  /// events + dropped is exactly the slot count the probes observed.
+  std::uint64_t trace_events = 0;        ///< slot events drained.
+  std::uint64_t trace_dropped = 0;       ///< slot events refused (ring full).
+  std::uint64_t trace_slot_records = 0;  ///< full-resolution records kept.
+  std::uint64_t trace_day_records = 0;   ///< coarse day summaries kept.
+  std::uint64_t trace_shard_files = 0;   ///< trace files finalized.
 };
 
 /// Stage 2: executes the plan's shards listed in `shard_subset` (any
@@ -74,7 +90,7 @@ struct FleetRunInfo {
 FleetPartial RunFleetShards(const ShardPlan& plan,
                             const std::vector<std::size_t>& shard_subset,
                             const FleetRunOptions& options = {},
-                            FleetRunInfo* info = nullptr);
+                            FleetRunStats* stats = nullptr);
 
 /// Simulates one node of a cell: instantiates `spec` and runs it over
 /// `series` through the static-dispatch kernel (mgmt/node_sim_kernel.hpp)
@@ -98,6 +114,6 @@ NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
 /// Deterministic in (spec, shard_size).
 FleetSummary RunFleet(const ScenarioSpec& spec,
                       const FleetRunOptions& options = {},
-                      FleetRunInfo* info = nullptr);
+                      FleetRunStats* stats = nullptr);
 
 }  // namespace shep

@@ -18,6 +18,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <type_traits>
 
 #include "common/check.hpp"
@@ -30,13 +31,29 @@
 
 namespace shep {
 
+/// Disabled per-slot probe: the default Probe argument of the kernel.
+/// kEnabled = false removes the probe call sites via `if constexpr`, so a
+/// tracing-off instantiation compiles to exactly the pre-probe kernel —
+/// telemetry costs nothing unless a run opts in (trace/probe.hpp supplies
+/// the enabled flavour).
+struct NoSlotProbe {
+  static constexpr bool kEnabled = false;
+};
+
 /// Runs `predictor` over `series` through the controller and store.  P is
 /// either a concrete final predictor class (static dispatch, the fleet hot
 /// path) or the abstract Predictor (virtual dispatch, the flexible entry).
 /// The predictor is Reset() first.
-template <class P>
+///
+/// Probe is a per-slot observation hook with a `static constexpr bool
+/// kEnabled`; when enabled it is invoked once per simulated slot — warm-up
+/// slots included, AFTER the slot's physics but BEFORE any scoring — as
+/// probe(slot, violated, soc, predicted_w, actual_w, duty).  The probe
+/// only reads; simulation state and results never depend on it.
+template <class P, class Probe = NoSlotProbe>
 NodeSimResult SimulateNodeKernel(P& predictor, const SlotSeries& series,
-                                 const NodeSimConfig& config) {
+                                 const NodeSimConfig& config,
+                                 const Probe& probe = Probe{}) {
   config.duty.Validate();
   config.storage.Validate();
   SHEP_REQUIRE(config.initial_level_fraction >= 0.0 &&
@@ -97,6 +114,11 @@ NodeSimResult SimulateNodeKernel(P& predictor, const SlotSeries& series,
     const double delivered = store.Discharge(demand_j);
     store.Leak(slot_s);
     const bool violated = delivered + 1e-12 < demand_j;
+
+    if constexpr (Probe::kEnabled) {
+      probe(static_cast<std::uint32_t>(g), violated, store.fraction(),
+            predicted_w, series.mean(g), duty);
+    }
 
     if (g < warmup_slots) continue;
 

@@ -1,0 +1,82 @@
+// query.hpp — loading, filtering, and rendering persisted fleet traces.
+//
+// This is the library behind the shep_trace CLI, kept in the trace layer
+// so tests can pin its semantics directly — most importantly that a query
+// over N per-shard files equals the same query over each file separately,
+// concatenated in shard order (the distributed-merge property, restated
+// for telemetry).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "report/table.hpp"
+#include "trace/record.hpp"
+#include "trace/trace_file.hpp"
+
+namespace shep {
+
+/// Reads and parses one trace file; throws on malformed content.
+[[nodiscard]] TraceShardFile LoadTraceFile(const std::string& path);
+
+/// Loads a set of trace files that must belong to ONE run: same scenario
+/// and plan fingerprint, no duplicate shards.  Returns them ascending by
+/// shard regardless of argument order, so joined queries are deterministic.
+[[nodiscard]] std::vector<TraceShardFile> LoadTraceFiles(
+    const std::vector<std::string>& paths);
+
+/// Conjunctive record filter; default-constructed matches everything.
+struct TraceQuery {
+  std::string site;        ///< exact site code; empty = any.
+  std::string predictor;   ///< exact predictor label; empty = any.
+  std::vector<std::uint64_t> cells;  ///< cell ids; empty = any.
+  bool has_node = false;   ///< when set, `node` must match exactly.
+  std::uint64_t node = 0;
+  std::uint32_t slot_begin = 0;  ///< inclusive.
+  std::uint32_t slot_end =
+      std::numeric_limits<std::uint32_t>::max();  ///< exclusive.
+  /// When nonzero, slot records must share at least one trigger bit.  Day
+  /// records carry no triggers, so a trigger filter excludes them all.
+  std::uint32_t trigger_mask = 0;
+};
+
+/// One matched full-resolution record with its provenance resolved.
+struct TraceSlotRow {
+  std::uint64_t shard = 0;
+  std::string site_code;
+  std::string predictor_label;
+  TraceRecord record;
+};
+
+/// One matched day summary with its provenance resolved.
+struct TraceDayRow {
+  std::uint64_t shard = 0;
+  std::string site_code;
+  std::string predictor_label;
+  TraceDayRecord record;
+};
+
+struct TraceQueryResult {
+  std::vector<TraceSlotRow> slots;
+  std::vector<TraceDayRow> days;
+};
+
+/// Runs `query` over `files` (visit them in the order given — pass the
+/// LoadTraceFiles result for the canonical shard order).  Row order is
+/// file-major, then record order within the file, which makes per-shard
+/// and joined queries trivially comparable.
+[[nodiscard]] TraceQueryResult RunTraceQuery(
+    const std::vector<TraceShardFile>& files, const TraceQuery& query);
+
+/// Renders matched slot records (one row per record).
+TableBuilder TraceSlotsTable(const TraceQueryResult& result);
+
+/// Renders matched day summaries (one row per node-day).
+TableBuilder TraceDaysTable(const TraceQueryResult& result);
+
+/// Renders one header row per file: shard, cells, record counts, drops.
+TableBuilder TraceFilesTable(const std::vector<TraceShardFile>& files);
+
+}  // namespace shep

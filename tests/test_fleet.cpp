@@ -347,14 +347,14 @@ TEST(CellAccumulator, MergeMatchesSequentialAdd) {
 TEST(RunFleet, SummaryBitIdenticalAcrossThreadCounts) {
   const ScenarioSpec spec = SmallSpec();
 
-  FleetRunInfo serial_info;
+  FleetRunStats serial_info;
   const FleetSummary serial = RunFleet(spec, {}, &serial_info);
   EXPECT_EQ(serial_info.threads, 1u);
 
   ThreadPool pool(4);
   FleetRunOptions options;
   options.pool = &pool;
-  FleetRunInfo pooled_info;
+  FleetRunStats pooled_info;
   const FleetSummary pooled = RunFleet(spec, options, &pooled_info);
   EXPECT_EQ(pooled_info.threads, 4u);
 

@@ -61,6 +61,7 @@ void ExpectCellBitIdentical(const CellAccumulator& a,
   ExpectMomentsBitIdentical(a.violation_rate, b.violation_rate);
   ExpectMomentsBitIdentical(a.mean_duty, b.mean_duty);
   ExpectMomentsBitIdentical(a.wasted_fraction, b.wasted_fraction);
+  ExpectMomentsBitIdentical(a.min_soc, b.min_soc);
   ExpectMomentsBitIdentical(a.mape, b.mape);
   ExpectMomentsBitIdentical(a.cycles_per_wakeup, b.cycles_per_wakeup);
   ExpectMomentsBitIdentical(a.ops_per_wakeup, b.ops_per_wakeup);
@@ -407,14 +408,14 @@ TEST(TraceCache, CachedRunsAreBitIdenticalAndWarmRunsHit) {
   options.pool = &pool;
   options.trace_cache = &cache;
 
-  FleetRunInfo cold_info;
+  FleetRunStats cold_info;
   const FleetSummary cold = RunFleet(spec, options, &cold_info);
   ExpectSummaryBitIdentical(cold, uncached);
   EXPECT_EQ(cold_info.trace_cache_hits, 0u);
   EXPECT_EQ(cold_info.trace_cache_misses, cold_info.unique_traces);
 
   // A warm re-run synthesizes nothing and still matches bit for bit.
-  FleetRunInfo warm_info;
+  FleetRunStats warm_info;
   const FleetSummary warm = RunFleet(spec, options, &warm_info);
   ExpectSummaryBitIdentical(warm, uncached);
   EXPECT_EQ(warm_info.trace_cache_hits, warm_info.unique_traces);
@@ -422,7 +423,7 @@ TEST(TraceCache, CachedRunsAreBitIdenticalAndWarmRunsHit) {
 
   // Partial runs share the same cache: a subset run on warm lanes hits.
   const ShardPlan plan = BuildShardPlan(spec, options.shard_size);
-  FleetRunInfo subset_info;
+  FleetRunStats subset_info;
   RunFleetShards(plan, {0}, options, &subset_info);
   EXPECT_GT(subset_info.trace_cache_hits, 0u);
   EXPECT_EQ(subset_info.trace_cache_misses, 0u);

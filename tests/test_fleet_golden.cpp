@@ -56,32 +56,32 @@ ScenarioSpec GoldenSpec() {
 // wasted_harvest digit that differs (PFCI/6000: ...678 vs ...679) is the
 // genuine Q16.16 quantisation residue propagating through the store.
 constexpr const char* kGoldenCsv =
-    "site,predictor,storage_j,nodes,viol_mean,viol_p50,viol_p95,viol_max,"
-    "mean_duty,wasted_harvest,mape,cyc_mean,cyc_p95,ops_mean\n"
-    "HSU,WCMA,1500,3,0.286013,0.400391,0.402923,0.402923,0.270596,0.066947,"
-    "0.134617,n/a,n/a,n/a\n"
-    "HSU,WCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.276324,0.001881,"
-    "0.134617,n/a,n/a,n/a\n"
-    "HSU,FixedWCMA,1500,3,0.286013,0.400391,0.402923,0.402923,0.270596,"
-    "0.066947,0.134617,1836.2,1838.0,32.3\n"
-    "HSU,FixedWCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.276324,"
-    "0.001881,0.134617,1836.2,1838.0,32.3\n"
-    "HSU,Persistence,1500,3,0.395268,0.486328,0.492693,0.492693,0.267856,"
-    "0.079543,0.206190,n/a,n/a,n/a\n"
-    "HSU,Persistence,6000,3,0.000000,0.000000,0.000000,0.000000,0.275531,"
-    "0.005289,0.206190,n/a,n/a,n/a\n"
-    "PFCI,WCMA,1500,3,0.136395,0.103516,0.240084,0.240084,0.343943,0.219753,"
-    "0.081986,n/a,n/a,n/a\n"
-    "PFCI,WCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.373225,0.137678,"
-    "0.081986,n/a,n/a,n/a\n"
-    "PFCI,FixedWCMA,1500,3,0.136395,0.103516,0.240084,0.240084,0.343943,"
-    "0.219753,0.081986,1868.9,1869.6,32.4\n"
-    "PFCI,FixedWCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.373225,"
-    "0.137679,0.081986,1868.9,1869.6,32.4\n"
-    "PFCI,Persistence,1500,3,0.270007,0.255859,0.340292,0.340292,0.340113,"
-    "0.230333,0.136708,n/a,n/a,n/a\n"
-    "PFCI,Persistence,6000,3,0.000000,0.000000,0.000000,0.000000,0.366344,"
-    "0.153593,0.136708,n/a,n/a,n/a\n";
+    "site,predictor,storage_j,nodes,viol_mean,viol_p50,viol_p95,viol_max,mean"
+    "_duty,wasted_harvest,min_soc,mape,cyc_mean,cyc_p95,ops_mean\n"
+    "HSU,WCMA,1500,3,0.286013,0.400391,0.402923,0.402923,0.270596,0.066947,0."
+    "000000,0.134617,n/a,n/a,n/a\n"
+    "HSU,WCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.276324,0.001881,0."
+    "215352,0.134617,n/a,n/a,n/a\n"
+    "HSU,FixedWCMA,1500,3,0.286013,0.400391,0.402923,0.402923,0.270596,0.0669"
+    "47,0.000000,0.134617,1836.2,1838.0,32.3\n"
+    "HSU,FixedWCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.276324,0.0018"
+    "81,0.215362,0.134617,1836.2,1838.0,32.3\n"
+    "HSU,Persistence,1500,3,0.395268,0.486328,0.492693,0.492693,0.267856,0.07"
+    "9543,0.000000,0.206190,n/a,n/a,n/a\n"
+    "HSU,Persistence,6000,3,0.000000,0.000000,0.000000,0.000000,0.275531,0.00"
+    "5289,0.217473,0.206190,n/a,n/a,n/a\n"
+    "PFCI,WCMA,1500,3,0.136395,0.103516,0.240084,0.240084,0.343943,0.219753,0"
+    ".000000,0.081986,n/a,n/a,n/a\n"
+    "PFCI,WCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.373225,0.137678,0"
+    ".265148,0.081986,n/a,n/a,n/a\n"
+    "PFCI,FixedWCMA,1500,3,0.136395,0.103516,0.240084,0.240084,0.343943,0.219"
+    "753,0.000000,0.081986,1868.9,1869.6,32.4\n"
+    "PFCI,FixedWCMA,6000,3,0.000000,0.000000,0.000000,0.000000,0.373225,0.137"
+    "679,0.265158,0.081986,1868.9,1869.6,32.4\n"
+    "PFCI,Persistence,1500,3,0.270007,0.255859,0.340292,0.340292,0.340113,0.2"
+    "30333,0.000000,0.136708,n/a,n/a,n/a\n"
+    "PFCI,Persistence,6000,3,0.000000,0.000000,0.000000,0.000000,0.366344,0.1"
+    "53593,0.305982,0.136708,n/a,n/a,n/a\n";
 
 // (violations, scored_slots) per cell, in cell order.  scored_slots is
 // structural — 3 nodes × ((30 − 20) × 48 − 1) — but violations are genuine

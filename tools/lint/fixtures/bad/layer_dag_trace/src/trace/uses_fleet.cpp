@@ -1,0 +1,11 @@
+// BAD: trace sits BELOW fleet in the DAG (fleet hands the sink to its
+// runner); a trace-layer file including fleet headers would close a cycle
+// — telemetry must never depend on the subsystem it observes.
+#include "fleet/runner.hpp"
+#include "report/table.hpp"
+
+namespace shep {
+
+double TracePeeksAtFleet() { return 0.0; }
+
+}  // namespace shep

@@ -113,8 +113,9 @@ const LayerDag& LayerDag::Project() {
     d.AddLayer("mgmt", {"core", "metrics"});
     d.AddLayer("sweep", {"core", "metrics"});
     d.AddLayer("report", {"common"});
+    d.AddLayer("trace", {"common", "report"});
     d.AddLayer("fleet", {"common", "solar", "core", "hw", "mgmt", "metrics",
-                         "report"});
+                         "report", "trace"});
     return d;
   }();
   return dag;

@@ -1,0 +1,127 @@
+// shep_trace — list, filter, and join the per-shard trace files a fleet
+// run's TraceSink writes.
+//
+//   shep_trace list  <path...>                 one row per trace file
+//   shep_trace slots <path...> [filters]       full-resolution slot records
+//   shep_trace days  <path...> [filters]       per-node-day coarse summaries
+//
+// A <path> is a trace file or a directory (scanned for *.shtr, sorted).
+// Files must come from one run — same plan fingerprint — or the join is
+// refused, exactly like merging foreign fleet partials.
+//
+// Filters: --site CODE, --predictor LABEL, --cell ID (repeatable),
+//          --node ID, --slots BEGIN:END (END exclusive; either side may be
+//          empty), --trigger NAME (violation-burst | soc-low-water |
+//          divergence; repeatable, matches any).
+// Output:  aligned table by default, --csv for machine consumption.
+#include <algorithm>
+#include <cstdint>
+#include <exception>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "trace/query.hpp"
+
+namespace {
+
+int Usage() {
+  std::cerr
+      << "usage: shep_trace <list|slots|days> <path...> [filters]\n"
+         "  paths: trace files or directories (scanned for *.shtr)\n"
+         "  filters: --site CODE --predictor LABEL --cell ID --node ID\n"
+         "           --slots BEGIN:END --trigger NAME --csv\n";
+  return 2;
+}
+
+/// Expands a directory argument into its *.shtr files, sorted for
+/// deterministic join order regardless of readdir order.
+void CollectPaths(const std::string& arg, std::vector<std::string>& paths) {
+  if (!std::filesystem::is_directory(arg)) {
+    paths.push_back(arg);
+    return;
+  }
+  std::vector<std::string> found;
+  for (const auto& entry : std::filesystem::directory_iterator(arg)) {
+    if (entry.is_regular_file() && entry.path().extension() == ".shtr") {
+      found.push_back(entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  paths.insert(paths.end(), found.begin(), found.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) try {
+  if (argc < 3) return Usage();
+  const std::string command = argv[1];
+  if (command != "list" && command != "slots" && command != "days") {
+    return Usage();
+  }
+
+  std::vector<std::string> paths;
+  shep::TraceQuery query;
+  bool csv = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw std::invalid_argument(arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--csv") {
+      csv = true;
+    } else if (arg == "--site") {
+      query.site = value();
+    } else if (arg == "--predictor") {
+      query.predictor = value();
+    } else if (arg == "--cell") {
+      query.cells.push_back(std::stoull(value()));
+    } else if (arg == "--node") {
+      query.has_node = true;
+      query.node = std::stoull(value());
+    } else if (arg == "--slots") {
+      const std::string range = value();
+      const std::size_t colon = range.find(':');
+      if (colon == std::string::npos) {
+        throw std::invalid_argument("--slots wants BEGIN:END, got " + range);
+      }
+      if (colon > 0) {
+        query.slot_begin =
+            static_cast<std::uint32_t>(std::stoul(range.substr(0, colon)));
+      }
+      if (colon + 1 < range.size()) {
+        query.slot_end =
+            static_cast<std::uint32_t>(std::stoul(range.substr(colon + 1)));
+      }
+    } else if (arg == "--trigger") {
+      const std::string name = value();
+      const std::uint32_t bit = shep::TraceTriggerFromName(name);
+      if (bit == 0) throw std::invalid_argument("unknown trigger: " + name);
+      query.trigger_mask |= bit;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << '\n';
+      return Usage();
+    } else {
+      CollectPaths(arg, paths);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "no trace files found\n";
+    return 1;
+  }
+
+  const std::vector<shep::TraceShardFile> files =
+      shep::LoadTraceFiles(paths);
+  shep::TableBuilder table =
+      command == "list" ? shep::TraceFilesTable(files)
+      : command == "slots"
+          ? shep::TraceSlotsTable(shep::RunTraceQuery(files, query))
+          : shep::TraceDaysTable(shep::RunTraceQuery(files, query));
+  std::cout << (csv ? table.ToCsv() : table.ToString());
+  return 0;
+} catch (const std::exception& e) {
+  std::cerr << "shep_trace: " << e.what() << '\n';
+  return 1;
+}
