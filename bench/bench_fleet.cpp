@@ -25,6 +25,7 @@
 //                     archive it and the next PR's trajectory continues
 //                     even when the gate trips.  Comparison goes to stderr.
 //   --threshold PCT   regression tolerance for --compare, in percent.
+#include <chrono>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -33,6 +34,7 @@
 #include <string>
 
 #include "common/threadpool.hpp"
+#include "fleet/coord.hpp"
 #include "fleet/runner.hpp"
 #include "fleet/trace_cache.hpp"
 #include "trace/sink.hpp"
@@ -188,6 +190,32 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Multi-process scaling: the same campaign through RunFleetCoordinated
+  // at 1, 2, and 4 single-threaded workers, so the curve measures process
+  // fan-out (fork/exec, pipes, frames, merge) and nothing else.  Each
+  // merge must match the serial summary bit for bit.  Advisory JSON
+  // fields; the regression gate stays on the in-process nodes_per_second.
+  double coord_seconds[3] = {0.0, 0.0, 0.0};
+#ifdef SHEP_FLEET_WORKER_PATH
+  constexpr std::size_t kCoordWorkers[] = {1, 2, 4};
+  for (int c = 0; c < 3; ++c) {
+    FleetCoordOptions coord;
+    coord.worker_path = SHEP_FLEET_WORKER_PATH;
+    coord.workers = kCoordWorkers[c];
+    coord.shard_size = FleetRunOptions{}.shard_size;
+    const auto begin = std::chrono::steady_clock::now();
+    const FleetSummary merged = RunFleetCoordinated(spec, coord);
+    coord_seconds[c] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+            .count();
+    if (merged.ToCsv() != serial.ToCsv()) {
+      std::cerr << "FATAL: coordinated summary diverges at "
+                << kCoordWorkers[c] << " worker(s)\n";
+      return 1;
+    }
+  }
+#endif
+
   const double serial_s = serial_info.synth_seconds + serial_info.sim_seconds;
   const double parallel_s =
       parallel_info.synth_seconds + parallel_info.sim_seconds;
@@ -247,8 +275,21 @@ int main(int argc, char** argv) {
                : 0.0)
        << ",\n"
        << "  \"trace_events\": " << traced_info.trace_events << ",\n"
-       << "  \"trace_dropped\": " << traced_info.trace_dropped << "\n"
-       << "}\n";
+       << "  \"trace_dropped\": " << traced_info.trace_dropped;
+#ifdef SHEP_FLEET_WORKER_PATH
+  json << ",\n"
+       << "  \"coord_workers_1_seconds\": " << coord_seconds[0] << ",\n"
+       << "  \"coord_workers_2_seconds\": " << coord_seconds[1] << ",\n"
+       << "  \"coord_workers_4_seconds\": " << coord_seconds[2] << ",\n"
+       << "  \"coord_speedup_2w\": "
+       << (coord_seconds[1] > 0.0 ? coord_seconds[0] / coord_seconds[1] : 0.0)
+       << ",\n"
+       << "  \"coord_speedup_4w\": "
+       << (coord_seconds[2] > 0.0 ? coord_seconds[0] / coord_seconds[2] : 0.0);
+#else
+  (void)coord_seconds;
+#endif
+  json << "\n}\n";
   std::cout << json.str();
 
   if (compare_path.empty()) return 0;

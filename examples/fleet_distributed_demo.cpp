@@ -8,37 +8,88 @@
 // summary equals the monolithic single-process RunFleet bit for bit
 // (table, CSV, and integer totals).
 //
+// With --procs N the simulation is real: RunFleetCoordinated fork/execs N
+// shep_fleet_worker processes, streams the checksummed frames back over
+// pipes, and merges — the same bit-identity proof over actual process
+// boundaries.  --chaos additionally SIGKILLs the first worker mid-campaign
+// to show the reassignment path recovering without changing a byte.
+//
 // A shared TraceCache stands in for a per-machine trace store: workers
 // whose shards read the same weather lanes synthesize each lane once.
 //
-// With a third argument the run also streams node telemetry: a TraceSink
-// writes one selectively-persisted trace file per shard into that
-// directory, ready for `shep_trace list|slots|days` — the pipeline the CI
-// telemetry smoke step exercises.
+// With a trace directory the run also streams node telemetry: one
+// selectively-persisted trace file per shard lands there, ready for
+// `shep_trace list|slots|days` — the pipeline the CI telemetry smoke step
+// exercises.
 //
 // Usage: fleet_distributed_demo [workers] [nodes_per_cell] [trace_dir]
-//        (defaults 3, 4, tracing off)
-#include <cstdlib>
+//                               [--procs N] [--chaos]
+//        (defaults: 3 in-process workers, 4 nodes per cell, tracing off)
+#include <csignal>
 #include <exception>
 #include <iostream>
 #include <memory>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/strings.hpp"
 #include "common/threadpool.hpp"
+#include "fleet/coord.hpp"
 #include "fleet/partial.hpp"
 #include "fleet/runner.hpp"
 #include "fleet/shard_plan.hpp"
 #include "fleet/trace_cache.hpp"
 #include "trace/sink.hpp"
 
+namespace {
+
+/// The demo's proof: table, CSV, and the integer totals all agree.
+bool BitIdentical(const shep::FleetSummary& a, const shep::FleetSummary& b) {
+  bool identical = a.ToTable() == b.ToTable() && a.ToCsv() == b.ToCsv();
+  for (std::size_t i = 0; identical && i < a.stats.size(); ++i) {
+    identical = a.stats[i].violations == b.stats[i].violations &&
+                a.stats[i].scored_slots == b.stats[i].scored_slots;
+  }
+  return identical;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) try {
   using namespace shep;
 
-  const std::size_t workers =
-      argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 3;
-  if (workers == 0) throw std::invalid_argument("workers must be >= 1");
+  std::size_t procs = 0;  // 0 = simulated workers in this process.
+  bool chaos = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--procs") {
+      const std::optional<long long> n =
+          i + 1 < argc ? ParseInt(argv[++i]) : std::nullopt;
+      if (!n || *n <= 0) {
+        throw std::invalid_argument("--procs needs a positive integer");
+      }
+      procs = static_cast<std::size_t>(*n);
+    } else if (arg == "--chaos") {
+      chaos = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  const auto positional_int = [&](std::size_t index,
+                                  std::size_t fallback) -> std::size_t {
+    if (positional.size() <= index) return fallback;
+    const std::optional<long long> n = ParseInt(positional[index]);
+    if (!n || *n <= 0) {
+      throw std::invalid_argument("'" + positional[index] +
+                                  "' is not a positive integer");
+    }
+    return static_cast<std::size_t>(*n);
+  };
+  const std::size_t workers = positional_int(0, 3);
+  const std::string trace_dir = positional.size() > 2 ? positional[2] : "";
 
   ScenarioSpec spec;
   spec.name = "fleet_distributed_demo";
@@ -54,7 +105,7 @@ int main(int argc, char** argv) try {
   persistence.kind = PredictorKind::kPersistence;
   spec.predictors = {wcma, wcma_fixed, persistence};
   spec.storage_tiers_j = {1500.0, 6000.0};
-  spec.nodes_per_cell = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 4;
+  spec.nodes_per_cell = positional_int(1, 4);
   spec.days = 30;
   spec.slots_per_day = 48;
   spec.seed = 0xD157;
@@ -69,6 +120,44 @@ int main(int argc, char** argv) try {
             << " weather lanes, fingerprint " << plan.fingerprint << "\n\n";
   std::cout << plan.Describe() << '\n';
 
+  // ---- Multi-process mode: the coordinator does stages 2+3 for real. -----
+  if (procs > 0) {
+#ifndef SHEP_FLEET_WORKER_PATH
+    std::cerr << "--procs needs the shep_fleet_worker path compiled in\n";
+    return 1;
+#else
+    FleetCoordOptions coord;
+    coord.worker_path = SHEP_FLEET_WORKER_PATH;
+    coord.workers = procs;
+    coord.shard_size = 5;
+    coord.trace_dir = trace_dir;
+    if (chaos) {
+      // Kill the first worker as soon as it exists: its shards come back
+      // to the survivors and the merge must not notice.
+      coord.on_spawn = [](std::size_t spawn, long pid) {
+        if (spawn == 0) ::kill(static_cast<pid_t>(pid), SIGKILL);
+      };
+    }
+    FleetCoordStats stats;
+    const FleetSummary merged = RunFleetCoordinated(spec, coord, &stats);
+    std::cout << "coordinator: " << stats.workers_spawned << " spawned, "
+              << stats.workers_died << " died, " << stats.workers_killed
+              << " killed, " << stats.respawns << " respawns, "
+              << stats.shards_reassigned << " shards reassigned\n"
+              << "frames: " << stats.frames_accepted << " accepted, "
+              << stats.duplicate_frames << " duplicate, "
+              << stats.corrupt_frames << " corrupt\n\n";
+
+    const FleetSummary monolithic = RunFleet(spec);
+    const bool identical = BitIdentical(merged, monolithic);
+    std::cout << merged.ToTable() << '\n';
+    std::cout << "coordinated (" << procs << " worker processes"
+              << (chaos ? ", chaos" : "") << ") vs monolithic RunFleet: "
+              << (identical ? "bit-identical" : "DIVERGED") << '\n';
+    return identical ? 0 : 1;
+#endif
+  }
+
   // ---- Stage 2: N independent partial runs (round-robin assignment). -----
   ThreadPool pool;
   TraceCache cache;
@@ -80,9 +169,9 @@ int main(int argc, char** argv) try {
   // the directory ends up with plan.shards.size() files that shep_trace
   // can query per shard or joined.
   std::unique_ptr<TraceSink> sink;
-  if (argc > 3) {
+  if (!trace_dir.empty()) {
     TraceSinkOptions sink_options;
-    sink_options.directory = argv[3];
+    sink_options.directory = trace_dir;
     sink = std::make_unique<TraceSink>(sink_options);
     options.trace_sink = sink.get();
   }
@@ -138,13 +227,7 @@ int main(int argc, char** argv) try {
   FleetRunOptions monolithic_options = options;
   monolithic_options.trace_sink = nullptr;
   const FleetSummary monolithic = RunFleet(spec, monolithic_options);
-  bool identical = merged.ToTable() == monolithic.ToTable() &&
-                   merged.ToCsv() == monolithic.ToCsv();
-  for (std::size_t i = 0; identical && i < merged.stats.size(); ++i) {
-    identical = merged.stats[i].violations == monolithic.stats[i].violations &&
-                merged.stats[i].scored_slots ==
-                    monolithic.stats[i].scored_slots;
-  }
+  const bool identical = BitIdentical(merged, monolithic);
 
   std::cout << merged.ToTable() << '\n';
   std::cout << "distributed (" << partials.size()
@@ -154,6 +237,6 @@ int main(int argc, char** argv) try {
 } catch (const std::exception& e) {
   std::cerr << "fleet_distributed_demo: " << e.what()
             << "\nUsage: fleet_distributed_demo [workers] [nodes_per_cell]"
-               " [trace_dir]\n";
+               " [trace_dir] [--procs N] [--chaos]\n";
   return 1;
 }

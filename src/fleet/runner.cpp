@@ -15,6 +15,7 @@
 #include "hw/costed_fixed.hpp"
 #include "mgmt/node_sim.hpp"
 #include "mgmt/node_sim_kernel.hpp"
+#include "solar/clearsky.hpp"
 #include "solar/sites.hpp"
 #include "solar/synth.hpp"
 #include "timeseries/slotting.hpp"
@@ -123,6 +124,14 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
   // show up in each other's deltas.
   std::atomic<std::uint64_t> cache_hits{0};
   std::atomic<std::uint64_t> cache_misses{0};
+  // Evictions (and the clear-sky memo below) cannot be counted per lookup
+  // — they happen inside the caches — so those ARE stats() diffs, exact
+  // for the usual one-run-at-a-time process and documented approximate
+  // otherwise (runner.hpp).
+  const std::uint64_t cache_evictions_before =
+      options.trace_cache != nullptr ? options.trace_cache->stats().evictions
+                                     : 0;
+  const ClearSkyMemoStats clearsky_before = GetClearSkyMemoStats();
   // One synthesis scratch per batch worker: lanes sharing a worker id run
   // serialized, so each slot's buffers are reused race-free across every
   // lane (and day) that worker synthesizes.  Scratch placement never
@@ -250,6 +259,15 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
     stats->sim_seconds = sim_seconds;
     stats->trace_cache_hits = cache_hits.load();
     stats->trace_cache_misses = cache_misses.load();
+    stats->trace_cache_evictions =
+        options.trace_cache != nullptr
+            ? options.trace_cache->stats().evictions - cache_evictions_before
+            : 0;
+    const ClearSkyMemoStats clearsky_after = GetClearSkyMemoStats();
+    stats->clearsky_hits = clearsky_after.hits - clearsky_before.hits;
+    stats->clearsky_misses = clearsky_after.misses - clearsky_before.misses;
+    stats->clearsky_evictions =
+        clearsky_after.evictions - clearsky_before.evictions;
     if (sink != nullptr) {
       const TraceSinkStats after = sink->stats();
       stats->trace_events = after.events - sink_before.events;

@@ -72,8 +72,16 @@ struct FleetRunStats {
   double merge_seconds = 0.0;     ///< stage 3 wall time (RunFleet only;
                                   ///< stays 0 for bare RunFleetShards).
   /// TraceCache counter deltas of this run (0 when no cache was given).
+  /// Evictions only occur on capacity-capped caches (see TraceCache ctor).
   std::uint64_t trace_cache_hits = 0;
   std::uint64_t trace_cache_misses = 0;
+  std::uint64_t trace_cache_evictions = 0;
+  /// Process-wide clear-sky memo deltas over this run (solar/clearsky.hpp).
+  /// Approximate under concurrent runs in one process — the memo is shared
+  /// — but exact for the common one-run-at-a-time case.
+  std::uint64_t clearsky_hits = 0;
+  std::uint64_t clearsky_misses = 0;
+  std::uint64_t clearsky_evictions = 0;
   /// Telemetry deltas of this run (all 0 when no trace sink was given).
   /// events + dropped is exactly the slot count the probes observed.
   std::uint64_t trace_events = 0;        ///< slot events drained.

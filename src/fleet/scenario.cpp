@@ -1,8 +1,10 @@
 #include "fleet/scenario.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "common/check.hpp"
+#include "common/serdes.hpp"
 #include "common/rng.hpp"
 #include "core/baselines.hpp"
 #include "core/ewma.hpp"
@@ -25,6 +27,20 @@ const char* PredictorKindName(PredictorKind kind) {
     case PredictorKind::kPreviousDay:  return "PreviousDay";
   }
   SHEP_REQUIRE(false, "unknown predictor kind");
+  throw std::logic_error("unreachable");
+}
+
+PredictorKind PredictorKindFromName(const std::string& name) {
+  // The serde spells kinds by display name, not enum value, so the wire
+  // format survives reordering the enum.
+  for (PredictorKind kind :
+       {PredictorKind::kWcma, PredictorKind::kWcmaFixed,
+        PredictorKind::kWcmaVm, PredictorKind::kEwma, PredictorKind::kAr,
+        PredictorKind::kAdaptiveWcma, PredictorKind::kPersistence,
+        PredictorKind::kPreviousDay}) {
+    if (name == PredictorKindName(kind)) return kind;
+  }
+  SHEP_REQUIRE(false, "unknown predictor kind name: " + name);
   throw std::logic_error("unreachable");
 }
 
@@ -117,6 +133,168 @@ void ScenarioSpec::Validate() const {
   SHEP_REQUIRE(node.initial_level_fraction >= 0.0 &&
                    node.initial_level_fraction <= 1.0,
                "initial level must be a fraction");
+}
+
+std::string ScenarioSpec::Describe() const {
+  Validate();  // only an expandable spec may cross a process boundary.
+  SHEP_REQUIRE(name.find_first_of(" \t\n") == std::string::npos,
+               "scenario names must be whitespace-free to serialize");
+  std::ostringstream os;
+  os << "shep-scenario v1\n";
+  os << "name " << name << '\n';
+  os << "seed " << seed << '\n';
+  os << "shape " << days << ' ' << slots_per_day << ' ' << nodes_per_cell
+     << '\n';
+  os << "sites " << sites.size();
+  for (const std::string& code : sites) os << ' ' << code;
+  os << '\n';
+  os << "tiers " << storage_tiers_j.size();
+  for (double tier : storage_tiers_j) {
+    os << ' ';
+    serdes::WriteDouble(os, tier);
+  }
+  os << '\n';
+  os << "predictors " << predictors.size() << '\n';
+  for (const PredictorSpec& p : predictors) {
+    // Every kind serializes every parameter block: the few unused doubles
+    // cost a handful of bytes and keep the reader branch-free.
+    os << "predictor " << PredictorKindName(p.kind) << " wcma ";
+    serdes::WriteDouble(os, p.wcma.alpha);
+    os << ' ' << p.wcma.days << ' ' << p.wcma.slots_k << " ewma ";
+    serdes::WriteDouble(os, p.ewma_weight);
+    os << " ar " << p.ar.order << ' ' << p.ar.days << ' ';
+    serdes::WriteDouble(os, p.ar.lambda);
+    os << ' ';
+    serdes::WriteDouble(os, p.ar.delta);
+    os << " adaptive " << p.adaptive.alphas.size();
+    for (double a : p.adaptive.alphas) {
+      os << ' ';
+      serdes::WriteDouble(os, a);
+    }
+    os << ' ' << p.adaptive.ks.size();
+    for (int k : p.adaptive.ks) os << ' ' << k;
+    os << ' ' << p.adaptive.days << ' ';
+    serdes::WriteDouble(os, p.adaptive.discount);
+    os << '\n';
+  }
+  os << "duty ";
+  serdes::WriteDouble(os, node.duty.slot_seconds);
+  os << ' ';
+  serdes::WriteDouble(os, node.duty.active_power_w);
+  os << ' ';
+  serdes::WriteDouble(os, node.duty.sleep_power_w);
+  os << ' ';
+  serdes::WriteDouble(os, node.duty.min_duty);
+  os << ' ';
+  serdes::WriteDouble(os, node.duty.max_duty);
+  os << ' ';
+  serdes::WriteDouble(os, node.duty.target_level_fraction);
+  os << ' ';
+  serdes::WriteDouble(os, node.duty.level_gain);
+  os << '\n';
+  os << "store ";
+  serdes::WriteDouble(os, node.storage.capacity_j);
+  os << ' ';
+  serdes::WriteDouble(os, node.storage.charge_efficiency);
+  os << ' ';
+  serdes::WriteDouble(os, node.storage.leakage_w);
+  os << '\n';
+  os << "node ";
+  serdes::WriteDouble(os, node.initial_level_fraction);
+  os << ' ' << node.warmup_days << ' ';
+  serdes::WriteDouble(os, initial_level_jitter);
+  os << '\n';
+  os << "end-scenario\n";
+  return os.str();
+}
+
+ScenarioSpec ParseScenarioSpec(const std::string& text) {
+  std::istringstream is(text);
+  serdes::ExpectToken(is, "shep-scenario");
+  serdes::ExpectToken(is, "v1");
+  ScenarioSpec spec;
+  serdes::ExpectToken(is, "name");
+  is >> spec.name;
+  SHEP_REQUIRE(!spec.name.empty(), "scenario is missing its name");
+  serdes::ExpectToken(is, "seed");
+  spec.seed = serdes::ReadU64(is);
+  serdes::ExpectToken(is, "shape");
+  spec.days = static_cast<std::size_t>(serdes::ReadU64(is));
+  spec.slots_per_day = static_cast<int>(serdes::ReadU64(is));
+  spec.nodes_per_cell = static_cast<std::size_t>(serdes::ReadU64(is));
+
+  serdes::ExpectToken(is, "sites");
+  const std::uint64_t site_count = serdes::ReadU64(is);
+  spec.sites.clear();
+  for (std::uint64_t i = 0; i < site_count; ++i) {
+    std::string code;
+    is >> code;
+    SHEP_REQUIRE(!code.empty(), "scenario lists an empty site code");
+    spec.sites.push_back(code);
+  }
+
+  serdes::ExpectToken(is, "tiers");
+  const std::uint64_t tier_count = serdes::ReadU64(is);
+  spec.storage_tiers_j.clear();
+  for (std::uint64_t i = 0; i < tier_count; ++i) {
+    spec.storage_tiers_j.push_back(serdes::ReadDouble(is));
+  }
+
+  serdes::ExpectToken(is, "predictors");
+  const std::uint64_t predictor_count = serdes::ReadU64(is);
+  spec.predictors.clear();
+  for (std::uint64_t i = 0; i < predictor_count; ++i) {
+    serdes::ExpectToken(is, "predictor");
+    PredictorSpec p;
+    std::string kind;
+    is >> kind;
+    p.kind = PredictorKindFromName(kind);
+    serdes::ExpectToken(is, "wcma");
+    p.wcma.alpha = serdes::ReadDouble(is);
+    p.wcma.days = static_cast<int>(serdes::ReadU64(is));
+    p.wcma.slots_k = static_cast<int>(serdes::ReadU64(is));
+    serdes::ExpectToken(is, "ewma");
+    p.ewma_weight = serdes::ReadDouble(is);
+    serdes::ExpectToken(is, "ar");
+    p.ar.order = static_cast<int>(serdes::ReadU64(is));
+    p.ar.days = static_cast<int>(serdes::ReadU64(is));
+    p.ar.lambda = serdes::ReadDouble(is);
+    p.ar.delta = serdes::ReadDouble(is);
+    serdes::ExpectToken(is, "adaptive");
+    const std::uint64_t alpha_count = serdes::ReadU64(is);
+    p.adaptive.alphas.clear();
+    for (std::uint64_t a = 0; a < alpha_count; ++a) {
+      p.adaptive.alphas.push_back(serdes::ReadDouble(is));
+    }
+    const std::uint64_t k_count = serdes::ReadU64(is);
+    p.adaptive.ks.clear();
+    for (std::uint64_t k = 0; k < k_count; ++k) {
+      p.adaptive.ks.push_back(static_cast<int>(serdes::ReadU64(is)));
+    }
+    p.adaptive.days = static_cast<int>(serdes::ReadU64(is));
+    p.adaptive.discount = serdes::ReadDouble(is);
+    spec.predictors.push_back(p);
+  }
+
+  serdes::ExpectToken(is, "duty");
+  spec.node.duty.slot_seconds = serdes::ReadDouble(is);
+  spec.node.duty.active_power_w = serdes::ReadDouble(is);
+  spec.node.duty.sleep_power_w = serdes::ReadDouble(is);
+  spec.node.duty.min_duty = serdes::ReadDouble(is);
+  spec.node.duty.max_duty = serdes::ReadDouble(is);
+  spec.node.duty.target_level_fraction = serdes::ReadDouble(is);
+  spec.node.duty.level_gain = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "store");
+  spec.node.storage.capacity_j = serdes::ReadDouble(is);
+  spec.node.storage.charge_efficiency = serdes::ReadDouble(is);
+  spec.node.storage.leakage_w = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "node");
+  spec.node.initial_level_fraction = serdes::ReadDouble(is);
+  spec.node.warmup_days = static_cast<std::size_t>(serdes::ReadU64(is));
+  spec.initial_level_jitter = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "end-scenario");
+  spec.Validate();  // reject bytes no Describe() could have produced.
+  return spec;
 }
 
 std::uint64_t DeriveSeed(std::uint64_t root, std::uint64_t a,

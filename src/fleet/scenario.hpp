@@ -94,11 +94,25 @@ struct ScenarioSpec {
   /// Throws std::invalid_argument when the spec cannot be expanded.
   void Validate() const;
 
+  /// Exact text form of the whole spec — every double travels as a
+  /// hexfloat — so a coordinator can hand the campaign to worker processes
+  /// that rebuild the identical ShardPlan (same fingerprint) from the
+  /// bytes alone.  Validates first: only an expandable spec serializes.
+  std::string Describe() const;
+
   std::size_t cell_count() const {
     return sites.size() * predictors.size() * storage_tiers_j.size();
   }
   std::size_t node_count() const { return cell_count() * nodes_per_cell; }
 };
+
+/// Inverse of ScenarioSpec::Describe.  Throws std::invalid_argument on
+/// malformed input; round-trips every field bit-exactly.
+[[nodiscard]] ScenarioSpec ParseScenarioSpec(const std::string& text);
+
+/// Inverse of PredictorKindName ("WCMA" -> kWcma, ...).  Throws
+/// std::invalid_argument on an unknown name.
+PredictorKind PredictorKindFromName(const std::string& name);
 
 /// One (site × predictor × storage) combination of the expanded matrix.
 struct ScenarioCell {

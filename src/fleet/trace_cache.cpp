@@ -44,13 +44,22 @@ std::shared_ptr<const SlotSeries> TraceCache::Get(const std::string& site_code,
   // First insertion wins so every caller shares one instance; a racing
   // duplicate is bit-identical (synthesis is deterministic in the key)
   // and is discarded here.
-  const auto [it, inserted] = entries_.emplace(std::move(key), series);
-  return inserted ? series : it->second;
+  const auto [it, inserted] = entries_.emplace(key, series);
+  auto result = it->second;
+  if (inserted && max_entries_ != 0 && entries_.size() > max_entries_) {
+    // Evict the lowest key, skipping the one just inserted so a run
+    // sweeping keys in order never evicts what it is about to use.
+    auto victim = entries_.begin();
+    if (victim->first == key) ++victim;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  return result;
 }
 
 TraceCache::Stats TraceCache::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
-  return Stats{hits_, misses_, entries_.size()};
+  return Stats{hits_, misses_, evictions_, entries_.size()};
 }
 
 void TraceCache::Clear() {
@@ -58,6 +67,7 @@ void TraceCache::Clear() {
   entries_.clear();
   hits_ = 0;
   misses_ = 0;
+  evictions_ = 0;
 }
 
 }  // namespace shep

@@ -37,6 +37,15 @@ struct SynthScratch;
 /// Thread-safe memo of synthesized + slotted weather lanes.
 class TraceCache {
  public:
+  /// `max_entries` caps the cache (0 = unbounded, the historical default
+  /// for single-campaign runs).  A long-lived coordinator sharing one
+  /// cache across many campaigns should cap it: when an insert exceeds
+  /// the cap the lowest key is evicted — deterministic because the map is
+  /// ordered — and counted in stats().evictions.  Series already handed
+  /// out stay alive through their shared_ptrs.
+  explicit TraceCache(std::size_t max_entries = 0)
+      : max_entries_(max_entries) {}
+
   /// Returns the SlotSeries for (site_code, trace_seed, days,
   /// slots_per_day), synthesizing it on first use.  Repeated calls with
   /// the same key return the identical (shared) instance.  When `was_hit`
@@ -59,6 +68,7 @@ class TraceCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     std::size_t entries = 0;
   };
   Stats stats() const;
@@ -72,8 +82,10 @@ class TraceCache {
 
   mutable std::mutex mutex_;
   std::map<Key, std::shared_ptr<const SlotSeries>> entries_;
+  std::size_t max_entries_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
 };
 
 }  // namespace shep

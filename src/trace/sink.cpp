@@ -69,8 +69,21 @@ void TraceSink::EndShard(std::size_t worker, std::uint64_t shard,
   TraceRing& target = ring(worker);
   // Unlike slot events, the marker must land: the drain cannot finalize
   // the shard's file without it.  Spin-yield until the drain makes room;
-  // shard ends are rare, so this never shows up in profiles.
+  // shard ends are rare, so this never shows up in profiles.  But only a
+  // RUNNING drain ever makes room — if the sink is stopping (or the drain
+  // was never started), waiting on it would spin forever, so give up,
+  // account the shard's drops, and record the shard as lost instead of
+  // silently dropping its footer.  This is exactly the path a coordinated
+  // worker takes when it is torn down mid-shard.
   while (!target.TryPush(marker)) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (stopping_ || !thread_running_) {
+        stats_.dropped += dropped;
+        ++stats_.lost_shards;
+        return;
+      }
+    }
     drain_cv_.notify_all();
     std::this_thread::yield();
   }

@@ -73,6 +73,10 @@ struct TraceSinkStats {
   std::uint64_t slot_records = 0;  ///< full-resolution records persisted.
   std::uint64_t day_records = 0;   ///< coarse summaries persisted.
   std::uint64_t shard_files = 0;   ///< trace files finalized.
+  /// Shard-end markers EndShard could not deliver because the drain was
+  /// stopping or never started (the marker's drops still land in
+  /// `dropped`); those shards produce no trace file.
+  std::uint64_t lost_shards = 0;
 };
 
 class TraceSink {
@@ -99,7 +103,10 @@ class TraceSink {
 
   /// Marks shard `shard` complete on `worker`'s ring, carrying the probes'
   /// refusal count.  Retries until the marker lands — shard ends are rare
-  /// and must never be lost, unlike slot events.
+  /// and must never be lost, unlike slot events — EXCEPT when the sink is
+  /// stopping (or the drain never started): then no one will ever make
+  /// room, so the call gives up, adds `dropped` to stats().dropped and
+  /// counts the shard in stats().lost_shards instead of spinning forever.
   void EndShard(std::size_t worker, std::uint64_t shard,
                 std::uint64_t dropped);
 

@@ -20,6 +20,7 @@
 #include "fleet/partial.hpp"
 #include "fleet/shard_plan.hpp"
 #include "fleet/trace_cache.hpp"
+#include "solar/clearsky.hpp"
 
 namespace shep {
 namespace {
@@ -396,6 +397,67 @@ TEST(TraceCache, HitReturnsTheIdenticalSeries) {
   cache.Clear();
   EXPECT_EQ(cache.stats().entries, 0u);
   EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(TraceCache, CapBoundsEntriesAndKeepsHandedOutSeriesAlive) {
+  TraceCache cache(3);
+  const auto first = cache.Get("HSU", 1, 3, 24);
+  for (std::uint64_t seed = 2; seed <= 5; ++seed) {
+    cache.Get("HSU", seed, 3, 24);
+  }
+
+  TraceCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.entries, 3u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.misses, 5u);
+
+  // The just-inserted key is never the victim, so a run sweeping seeds in
+  // order still hits its newest entry.
+  bool hit = false;
+  cache.Get("HSU", 5, 3, 24, &hit);
+  EXPECT_TRUE(hit);
+
+  // An evicted key re-synthesizes a NEW instance with identical data,
+  // while series already handed out stay alive through their shared_ptrs.
+  const auto again = cache.Get("HSU", 1, 3, 24, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(again.get(), first.get());
+  ASSERT_EQ(again->size(), first->size());
+  for (std::size_t g = 0; g < first->size(); ++g) {
+    EXPECT_EQ(again->boundary(g), first->boundary(g));
+    EXPECT_EQ(again->mean(g), first->mean(g));
+  }
+  stats = cache.stats();
+  EXPECT_EQ(stats.evictions, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(TraceCache, RunStatsReportCacheAndClearSkyDeltas) {
+  const ScenarioSpec spec = DistributedSpec();
+  const FleetSummary reference = RunFleet(spec);
+  ClearClearSkyMemo();
+
+  // A one-entry cache forces an eviction per lane after the first; the
+  // summary must not notice (caps change wall time and memory, nothing
+  // else), and the run stats must report the churn.
+  TraceCache tiny(1);
+  FleetRunOptions options;
+  options.trace_cache = &tiny;
+  FleetRunStats info;
+  const FleetSummary capped = RunFleet(spec, options, &info);
+  ExpectSummaryBitIdentical(capped, reference);
+
+  EXPECT_EQ(info.trace_cache_misses, info.unique_traces);
+  EXPECT_EQ(info.trace_cache_evictions, info.unique_traces - 1);
+  EXPECT_EQ(tiny.stats().entries, 1u);
+
+  // Phase 1's synthesis goes through the process-wide clear-sky memo:
+  // every (site, day-of-year) profile misses once, and the other lanes of
+  // the same site hit it.  The default capacity comfortably holds a
+  // 30-day, 2-site campaign, so nothing is evicted.
+  EXPECT_GT(info.clearsky_misses, 0u);
+  EXPECT_GT(info.clearsky_hits, 0u);
+  EXPECT_EQ(info.clearsky_evictions, 0u);
 }
 
 TEST(TraceCache, CachedRunsAreBitIdenticalAndWarmRunsHit) {

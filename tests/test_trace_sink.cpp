@@ -345,6 +345,30 @@ TEST(TraceSinkFleet, OverflowingRingDropsLoudlyAndChangesNothing) {
   EXPECT_EQ(dropped, stats.trace_dropped);
 }
 
+// Regression: EndShard used to spin forever whenever no drain thread
+// would ever make room — a sink whose drain never started (no BeginRun)
+// or was already stopping left the caller retrying a full ring for good.
+// A coordinated worker torn down mid-shard hit exactly this and hung
+// instead of exiting.  The marker's drops must still be accounted, and
+// the shard recorded as lost rather than silently missing its file.
+TEST(TraceSinkFleet, EndShardGivesUpWhenTheDrainWillNeverRun) {
+  TraceSinkOptions options;
+  options.ring_capacity = 4;
+  TraceSink sink(options);  // no BeginRun: the drain thread never starts.
+  sink.EnsureWorkers(1);
+
+  TraceEvent filler;  // jam the ring so the marker cannot land.
+  while (sink.ring(0).TryPush(filler)) {
+  }
+
+  sink.EndShard(0, /*shard=*/3, /*dropped=*/7);  // pre-fix: infinite spin.
+
+  const TraceSinkStats stats = sink.stats();
+  EXPECT_EQ(stats.lost_shards, 1u);
+  EXPECT_EQ(stats.dropped, 7u);
+  EXPECT_EQ(stats.shard_files, 0u);
+}
+
 TEST(TraceSinkFleet, DistributedPartialsQueryIdenticallyPerShardAndJoined) {
   const ScenarioSpec spec = TracedSpec();
   const ShardPlan plan = BuildShardPlan(spec, 3);

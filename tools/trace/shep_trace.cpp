@@ -19,9 +19,12 @@
 #include <exception>
 #include <filesystem>
 #include <iostream>
+#include <limits>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/strings.hpp"
 #include "trace/query.hpp"
 
 namespace {
@@ -33,6 +36,29 @@ int Usage() {
          "  filters: --site CODE --predictor LABEL --cell ID --node ID\n"
          "           --slots BEGIN:END --trigger NAME --csv\n";
   return 2;
+}
+
+/// Parses a non-negative integer option value, naming the offending option
+/// in the error.  Replaces the raw std::stoull calls that reported bare
+/// "stoull" on garbage, silently accepted trailing junk ("12abc" -> 12),
+/// and wrapped negatives into huge IDs.
+std::uint64_t ParseId(const std::string& option, const std::string& text) {
+  const std::optional<long long> parsed = shep::ParseInt(text);
+  if (!parsed || *parsed < 0) {
+    throw std::invalid_argument(option + " wants a non-negative integer, got '" +
+                                text + "'");
+  }
+  return static_cast<std::uint64_t>(*parsed);
+}
+
+/// Slot indices are 32-bit in the record format; reject values that a
+/// static_cast would silently truncate.
+std::uint32_t ParseSlot(const std::string& option, const std::string& text) {
+  const std::uint64_t value = ParseId(option, text);
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    throw std::invalid_argument(option + " slot index out of range: " + text);
+  }
+  return static_cast<std::uint32_t>(value);
 }
 
 /// Expands a directory argument into its *.shtr files, sorted for
@@ -77,10 +103,10 @@ int main(int argc, char** argv) try {
     } else if (arg == "--predictor") {
       query.predictor = value();
     } else if (arg == "--cell") {
-      query.cells.push_back(std::stoull(value()));
+      query.cells.push_back(ParseId("--cell", value()));
     } else if (arg == "--node") {
       query.has_node = true;
-      query.node = std::stoull(value());
+      query.node = ParseId("--node", value());
     } else if (arg == "--slots") {
       const std::string range = value();
       const std::size_t colon = range.find(':');
@@ -88,12 +114,16 @@ int main(int argc, char** argv) try {
         throw std::invalid_argument("--slots wants BEGIN:END, got " + range);
       }
       if (colon > 0) {
-        query.slot_begin =
-            static_cast<std::uint32_t>(std::stoul(range.substr(0, colon)));
+        query.slot_begin = ParseSlot("--slots", range.substr(0, colon));
       }
       if (colon + 1 < range.size()) {
-        query.slot_end =
-            static_cast<std::uint32_t>(std::stoul(range.substr(colon + 1)));
+        query.slot_end = ParseSlot("--slots", range.substr(colon + 1));
+      }
+      if (query.slot_end < query.slot_begin) {
+        throw std::invalid_argument("--slots begin " +
+                                    std::to_string(query.slot_begin) +
+                                    " is past end " +
+                                    std::to_string(query.slot_end));
       }
     } else if (arg == "--trigger") {
       const std::string name = value();
