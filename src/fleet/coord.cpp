@@ -283,6 +283,7 @@ void ReaderMain(CoordState& state, WorkerProc& worker) {
   state.cv.notify_all();
 }
 
+// shep-lint: root(signal-safety)
 void SpawnWorker(CoordState& state, const FleetCoordOptions& options,
                  const std::string& job_text, std::size_t spawn) {
   int to_child[2];
@@ -290,8 +291,17 @@ void SpawnWorker(CoordState& state, const FleetCoordOptions& options,
   SHEP_CHECK(::pipe2(to_child, O_CLOEXEC) == 0 &&
                  ::pipe2(from_child, O_CLOEXEC) == 0,
              "coordinator cannot create worker pipes");
+  // argv is fully built BEFORE the fork: the child of a multi-threaded
+  // parent may not allocate (another thread can hold the heap lock at the
+  // fork instant, and it never unlocks in the child), so the region
+  // between fork() and execv touches only pre-built storage.
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(options.worker_path.c_str()));
+  for (const std::string& arg : options.worker_args) {
+    argv.push_back(const_cast<char*>(arg.c_str()));
+  }
+  argv.push_back(nullptr);
   const pid_t pid = ::fork();
-  SHEP_CHECK(pid >= 0, "coordinator cannot fork a worker");
   if (pid == 0) {
     // Child: only async-signal-safe calls between fork and exec.  dup2
     // clears O_CLOEXEC on the copies; every other coordinator fd closes at
@@ -299,15 +309,12 @@ void SpawnWorker(CoordState& state, const FleetCoordOptions& options,
     // EOF-based death detection).
     ::dup2(to_child[0], STDIN_FILENO);
     ::dup2(from_child[1], STDOUT_FILENO);
-    std::vector<char*> argv;
-    argv.push_back(const_cast<char*>(options.worker_path.c_str()));
-    for (const std::string& arg : options.worker_args) {
-      argv.push_back(const_cast<char*>(arg.c_str()));
-    }
-    argv.push_back(nullptr);
     ::execv(options.worker_path.c_str(), argv.data());
     ::_exit(127);
   }
+  // A failed fork returns -1 (never 0), so checking after the child block
+  // keeps the check out of the async-signal-safe region.
+  SHEP_CHECK(pid >= 0, "coordinator cannot fork a worker");
   ::close(to_child[0]);
   ::close(from_child[1]);
 

@@ -51,9 +51,9 @@ struct NoSlotProbe {
 /// probe(slot, violated, soc, predicted_w, actual_w, duty).  The probe
 /// only reads; simulation state and results never depend on it.
 template <class P, class Probe = NoSlotProbe>
-NodeSimResult SimulateNodeKernel(P& predictor, const SlotSeries& series,
-                                 const NodeSimConfig& config,
-                                 const Probe& probe = Probe{}) {
+NodeSimResult SimulateNodeKernel(  // shep-lint: root(hot-path-alloc)
+    P& predictor, const SlotSeries& series, const NodeSimConfig& config,
+    const Probe& probe = Probe{}) {
   config.duty.Validate();
   config.storage.Validate();
   SHEP_REQUIRE(config.initial_level_fraction >= 0.0 &&

@@ -63,6 +63,7 @@ class TraceRing {
   /// Producer side.  Returns false (and counts the drop) when the ring is
   /// full; never blocks, never reorders — the hot path's cost is two
   /// atomic loads and one release store.
+  // shep-lint: root(hot-path-alloc) root(blocking-in-rt)
   bool TryPush(const TraceEvent& event) {
     const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
     const std::uint64_t head = head_.load(std::memory_order_acquire);

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdint>
 #include <cstdlib>
 #include <exception>
 #include <iostream>
@@ -53,7 +54,7 @@ std::mutex g_out_mutex;
 /// Full atomic-enough write to stdout: every message goes out in one
 /// locked call so heartbeats never interleave with a frame.
 void WriteOut(std::string_view data) {
-  std::lock_guard<std::mutex> lock(g_out_mutex);
+  std::lock_guard<std::mutex> lock(g_out_mutex);  // shep-lint: allow(blocking-in-rt) bounded critical section (one pipe write, no allocation); a stalled pipe parks control and data plane alike and is covered by the coordinator's liveness deadline
   while (!data.empty()) {
     const ssize_t wrote = ::write(STDOUT_FILENO, data.data(), data.size());
     if (wrote < 0) {
@@ -61,6 +62,19 @@ void WriteOut(std::string_view data) {
       std::exit(2);  // coordinator gone; nothing sensible left to do.
     }
     data.remove_prefix(static_cast<std::size_t>(wrote));
+  }
+}
+
+/// Heartbeat thread body: the worker's control plane.  One short line per
+/// period, forever — the coordinator times out on silence, so this loop
+/// must never park behind the data plane (sleep_for is its pacing, not a
+/// hazard; the WriteOut lock is the one vetted exception, waived at its
+/// definition).
+// shep-lint: root(blocking-in-rt)
+void HeartbeatMain(const std::atomic<bool>& stop, std::uint32_t period_ms) {
+  while (!stop.load(std::memory_order_relaxed)) {
+    WriteOut("hb\n");
+    std::this_thread::sleep_for(std::chrono::milliseconds(period_ms));
   }
 }
 
@@ -132,12 +146,8 @@ int main(int argc, char** argv) {
   // Heartbeat: the control plane.  One short line per period, forever —
   // cheap enough to never gate, and the coordinator times out on silence.
   std::atomic<bool> stop_heartbeat{false};
-  std::thread heartbeat([&] {
-    while (!stop_heartbeat.load(std::memory_order_relaxed)) {
-      WriteOut("hb\n");
-      std::this_thread::sleep_for(std::chrono::milliseconds(job.heartbeat_ms));
-    }
-  });
+  std::thread heartbeat(
+      [&] { HeartbeatMain(stop_heartbeat, job.heartbeat_ms); });
 
   std::unique_ptr<shep::ThreadPool> pool;
   if (job.threads > 1) pool = std::make_unique<shep::ThreadPool>(job.threads);

@@ -1,0 +1,386 @@
+#include "call_graph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "include_graph.hpp"
+
+namespace shep::lint {
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Names that look like calls or definitions lexically but never are:
+/// control-flow keywords, expression keywords, decl specifiers that take a
+/// parenthesized operand, and fundamental types (paren-init `double(x)`).
+const std::set<std::string>& NeverAFunction() {
+  static const std::set<std::string> kSet = {
+      "if",        "for",      "while",     "switch",   "catch",
+      "return",    "sizeof",   "alignof",   "alignas",  "decltype",
+      "noexcept",  "throw",    "new",       "delete",   "else",
+      "do",        "case",     "goto",      "co_await", "co_return",
+      "co_yield",  "requires", "constexpr", "consteval", "constinit",
+      "static_assert", "defined", "operator", "assert",
+      "void",      "bool",     "char",      "short",    "int",
+      "long",      "float",    "double",    "signed",   "unsigned",
+      "auto",
+  };
+  return kSet;
+}
+
+/// Words that, when they precede a candidate name, mark it as part of an
+/// expression or statement rather than a definition's return type.
+const std::set<std::string>& NotAReturnTypeBefore() {
+  static const std::set<std::string> kSet = {
+      "return", "throw", "else",     "case",     "goto", "new",
+      "delete", "if",    "while",    "for",      "switch", "do",
+      "co_return", "co_yield", "co_await",
+  };
+  return kSet;
+}
+
+/// Characters that may legitimately precede a DEFINITION's name: statement
+/// boundaries, closing template/attribute brackets, pointer/reference
+/// declarators.  Anything else (`.`/`->` member access, `(`/`,` argument
+/// position, operators, a single `:` opening a constructor init list)
+/// marks the candidate as a call or init-list entry.
+bool MayPrecedeDefinition(char c) {
+  return c == ';' || c == '}' || c == '{' || c == '>' || c == ']' ||
+         c == '&' || c == '*' || IsIdentChar(c);
+}
+
+/// Blanks preprocessor directive lines (and their `\` continuations) so
+/// `#define` bodies are neither definitions nor call sites.
+std::string BlankDirectives(const SourceFile& file, const JoinedCode& joined) {
+  std::string text = joined.text;
+  bool continued = false;
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    const std::string& line = file.code[i];
+    const std::size_t first = line.find_first_not_of(" \t");
+    const bool directive =
+        continued || (first != std::string::npos && line[first] == '#');
+    if (directive) {
+      const std::size_t begin = joined.line_start[i];
+      for (std::size_t p = 0; p < line.size(); ++p) text[begin + p] = ' ';
+      continued = !line.empty() && line.back() == '\\';
+    } else {
+      continued = false;
+    }
+  }
+  return text;
+}
+
+/// Advances past a balanced (...) group; `pos` must sit on the '('.
+/// Returns false when the group never closes.
+bool SkipBalancedParens(const std::string& text, std::size_t& pos) {
+  int depth = 0;
+  while (pos < text.size()) {
+    if (text[pos] == '(') ++depth;
+    if (text[pos] == ')') --depth;
+    ++pos;
+    if (depth == 0) return true;
+  }
+  return false;
+}
+
+bool SkipBalancedBraces(const std::string& text, std::size_t& pos) {
+  int depth = 0;
+  while (pos < text.size()) {
+    if (text[pos] == '{') ++depth;
+    if (text[pos] == '}') --depth;
+    ++pos;
+    if (depth == 0) return true;
+  }
+  return false;
+}
+
+void SkipWhitespace(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[pos]))) {
+    ++pos;
+  }
+}
+
+/// Parses a constructor init list starting at the ':' and leaves `pos` on
+/// the body's '{'.  Entries are `name(...)` or `name{...}` separated by
+/// commas.  Returns false when the text does not parse as an init list
+/// ending in a body.
+bool SkipInitList(const std::string& text, std::size_t& pos) {
+  ++pos;  // past the ':'.
+  for (;;) {
+    SkipWhitespace(text, pos);
+    // Entry name (possibly qualified or templated: Base<T>::Base).
+    const std::size_t name_begin = pos;
+    while (pos < text.size() &&
+           (IsIdentChar(text[pos]) || text[pos] == ':' || text[pos] == '<' ||
+            text[pos] == '>' || text[pos] == ',' ||
+            std::isspace(static_cast<unsigned char>(text[pos])))) {
+      // A ',' inside <...> belongs to template args; outside it separates
+      // entries — but an entry must have had its (...)/{...} first, so a
+      // bare ',' here only appears inside template brackets.  Track depth.
+      if (text[pos] == ',') {
+        // Only legal inside template brackets; check depth by rescanning
+        // is overkill — accept and let the paren check below decide.
+      }
+      ++pos;
+    }
+    if (pos >= text.size() || pos == name_begin) return false;
+    if (text[pos] == '(') {
+      if (!SkipBalancedParens(text, pos)) return false;
+    } else if (text[pos] == '{') {
+      if (!SkipBalancedBraces(text, pos)) return false;
+    } else {
+      return false;
+    }
+    SkipWhitespace(text, pos);
+    if (pos < text.size() && text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    return pos < text.size() && text[pos] == '{';
+  }
+}
+
+/// From just past the parameter list's ')', walks the qualifier region
+/// (const, noexcept(...), override, trailing return, init list) and leaves
+/// `pos` on the body's '{'.  Returns false for declarations (`;`),
+/// deleted/defaulted definitions (`=`), and anything unparseable.
+bool FindBodyOpen(const std::string& text, std::size_t& pos) {
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c == '{') return true;
+    if (c == ';' || c == '=') return false;
+    if (c == ':') {
+      if (pos + 1 < text.size() && text[pos + 1] == ':') {
+        pos += 2;  // `::` inside a trailing return type.
+        continue;
+      }
+      return SkipInitList(text, pos);
+    }
+    if (c == '(') {  // noexcept(...), attribute arguments.
+      if (!SkipBalancedParens(text, pos)) return false;
+      continue;
+    }
+    if (c == '-') {
+      if (pos + 1 < text.size() && text[pos + 1] == '>') {
+        pos += 2;  // trailing return type arrow.
+        continue;
+      }
+      return false;
+    }
+    if (IsIdentChar(c) || c == '&' || c == '*' || c == '<' || c == '>' ||
+        c == ',' || c == '[' || c == ']' ||
+        std::isspace(static_cast<unsigned char>(c))) {
+      ++pos;
+      continue;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// Reads the (possibly qualified) name ending just before `paren_pos`'s
+/// preceding non-space character run.  Returns the byte offset where the
+/// name starts, or npos when there is no name.
+std::size_t NameBegin(const std::string& text, std::size_t name_end) {
+  std::size_t begin = name_end;
+  while (begin > 0 && IsIdentChar(text[begin - 1])) --begin;
+  if (begin == name_end) return std::string::npos;
+  // Pull in `Qualified::` prefixes and a destructor '~'.
+  for (;;) {
+    if (begin > 0 && text[begin - 1] == '~') {
+      --begin;
+      continue;
+    }
+    if (begin >= 2 && text[begin - 1] == ':' && text[begin - 2] == ':') {
+      std::size_t q = begin - 2;
+      while (q > 0 && IsIdentChar(text[q - 1])) --q;
+      if (q == begin - 2) break;  // bare `::fork` — keep the short name.
+      begin = q;
+      continue;
+    }
+    break;
+  }
+  return begin;
+}
+
+std::string LastComponent(const std::string& qualified) {
+  const std::size_t sep = qualified.rfind("::");
+  std::string last =
+      sep == std::string::npos ? qualified : qualified.substr(sep + 2);
+  if (!last.empty() && last.front() == '~') last.erase(last.begin());
+  return last;
+}
+
+/// The word immediately before `pos` (skipping whitespace), empty if the
+/// preceding token is not a word.
+std::string PrecedingWord(const std::string& text, std::size_t pos) {
+  while (pos > 0 &&
+         std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
+    --pos;
+  }
+  std::size_t end = pos;
+  while (pos > 0 && IsIdentChar(text[pos - 1])) --pos;
+  return text.substr(pos, end - pos);
+}
+
+}  // namespace
+
+JoinedCode JoinedCode::From(const SourceFile& file) {
+  JoinedCode joined;
+  for (const std::string& line : file.code) {
+    joined.line_start.push_back(joined.text.size());
+    joined.text += line;
+    joined.text += '\n';
+  }
+  return joined;
+}
+
+std::size_t JoinedCode::LineOf(std::size_t pos) const {
+  const auto it = std::upper_bound(line_start.begin(), line_start.end(), pos);
+  return static_cast<std::size_t>(it - line_start.begin());
+}
+
+std::vector<FunctionDef> ExtractFunctions(const SourceFile& file) {
+  const JoinedCode joined = JoinedCode::From(file);
+  const std::string text = BlankDirectives(file, joined);
+  std::vector<FunctionDef> defs;
+
+  // Pass 1: definitions.  Candidate = identifier chain directly before a
+  // '(' whose parameter list is followed (through the qualifier region) by
+  // a body '{'.
+  for (std::size_t paren = text.find('('); paren != std::string::npos;
+       paren = text.find('(', paren + 1)) {
+    std::size_t name_end = paren;
+    while (name_end > 0 &&
+           std::isspace(static_cast<unsigned char>(text[name_end - 1]))) {
+      --name_end;
+    }
+    const std::size_t name_begin = NameBegin(text, name_end);
+    if (name_begin == std::string::npos) continue;
+    const std::string qualified = text.substr(name_begin, name_end - name_begin);
+    const std::string last = LastComponent(qualified);
+    if (last.empty() || NeverAFunction().count(last)) continue;
+    if (name_begin > 0) {
+      std::size_t before = name_begin;
+      while (before > 0 &&
+             std::isspace(static_cast<unsigned char>(text[before - 1]))) {
+        --before;
+      }
+      if (before > 0) {
+        const char c = text[before - 1];
+        if (!MayPrecedeDefinition(c)) continue;
+        if (IsIdentChar(c) &&
+            NotAReturnTypeBefore().count(PrecedingWord(text, name_begin))) {
+          continue;
+        }
+      }
+    }
+    std::size_t pos = paren;
+    if (!SkipBalancedParens(text, pos)) continue;
+    if (!FindBodyOpen(text, pos)) continue;
+    const std::size_t body_open = pos;
+    std::size_t body_end = pos;
+    SkipBalancedBraces(text, body_end);  // EOF-tolerant: take what closes.
+
+    FunctionDef def;
+    def.file = file.path;
+    def.display = qualified;
+    def.name = last;
+    def.line = joined.LineOf(name_begin);
+    def.body_open_line = joined.LineOf(body_open);
+    def.body_last_line = joined.LineOf(body_end == 0 ? 0 : body_end - 1);
+
+    // Pass 2 (per def): call sites inside the body.
+    for (std::size_t p = text.find('(', body_open);
+         p != std::string::npos && p < body_end; p = text.find('(', p + 1)) {
+      std::size_t call_end = p;
+      while (call_end > 0 &&
+             std::isspace(static_cast<unsigned char>(text[call_end - 1]))) {
+        --call_end;
+      }
+      const std::size_t call_begin = NameBegin(text, call_end);
+      if (call_begin == std::string::npos) continue;
+      const std::string callee =
+          LastComponent(text.substr(call_begin, call_end - call_begin));
+      if (callee.empty() || NeverAFunction().count(callee)) continue;
+      def.calls.push_back({joined.LineOf(call_begin), call_begin, callee});
+    }
+    defs.push_back(std::move(def));
+  }
+
+  // Root markers attach to the definition whose signature region carries
+  // them: the line above the name (marker-on-its-own-line style, like
+  // [[nodiscard]]) through the body-open line (trailing-comment style).
+  for (const RootMark& mark : file.roots) {
+    for (FunctionDef& def : defs) {
+      if (mark.line + 1 >= def.line && mark.line <= def.body_open_line) {
+        def.roots.push_back(mark.rule);
+      }
+    }
+  }
+  return defs;
+}
+
+std::string ResolveInclude(const std::map<std::string, SourceFile>& files,
+                           const std::string& from,
+                           const std::string& include) {
+  const std::string as_src = "src/" + include;
+  if (files.count(as_src)) return as_src;
+  std::string dir = from;
+  const std::size_t slash = dir.rfind('/');
+  dir = slash == std::string::npos ? std::string() : dir.substr(0, slash);
+  // The includer's own directory, then each ancestor down to (but never
+  // including) the repo root: tools/<tool>/test/ files include headers
+  // from tools/<tool>/ via the target's include dirs.
+  while (!dir.empty()) {
+    const std::string candidate = dir + "/" + include;
+    if (files.count(candidate)) return candidate;
+    const std::size_t up = dir.rfind('/');
+    if (up == std::string::npos) break;
+    dir = dir.substr(0, up);
+  }
+  return {};
+}
+
+CallGraph CallGraph::Build(const std::map<std::string, SourceFile>& files,
+                           const std::string& root_file) {
+  CallGraph graph;
+  std::set<std::string> visited;
+  std::vector<std::string> frontier = {root_file};
+  while (!frontier.empty()) {
+    const std::string rel = frontier.front();
+    frontier.erase(frontier.begin());
+    if (!visited.insert(rel).second) continue;
+    const auto it = files.find(rel);
+    if (it == files.end()) continue;
+    graph.closure_.push_back(rel);
+    for (FunctionDef& def : ExtractFunctions(it->second)) {
+      graph.by_name_.emplace(def.name, graph.defs_.size());
+      graph.defs_.push_back(std::move(def));
+    }
+    for (const IncludeRef& inc : ExtractIncludes(it->second)) {
+      const std::string target = ResolveInclude(files, rel, inc.path);
+      if (!target.empty() && !visited.count(target)) {
+        frontier.push_back(target);
+      }
+    }
+  }
+  return graph;
+}
+
+std::vector<const FunctionDef*> CallGraph::Resolve(
+    const std::string& name) const {
+  std::vector<const FunctionDef*> out;
+  const auto [begin, end] = by_name_.equal_range(name);
+  for (auto it = begin; it != end; ++it) {
+    out.push_back(&defs_[it->second]);
+  }
+  return out;
+}
+
+}  // namespace shep::lint

@@ -1,0 +1,116 @@
+// call_graph.hpp — lexical function-definition and call-site extraction for
+// the reachability rule families (hot-path-alloc, signal-safety,
+// blocking-in-rt).
+//
+// shep_lint's per-line rules can say "this line allocates"; they cannot say
+// "this line is reachable from the kernel slot loop".  This module adds the
+// missing half: a per-translation-unit call graph built from the same
+// blanked SourceFile text the line rules trust (comments and string
+// literals can never fabricate an edge), resolved transitively through
+// quoted includes exactly like the serialize-float rule resolves its
+// float-identifier sets.
+//
+// Deliberate scope (documented, tested, and honest about its limits):
+//
+//  * Definitions are found lexically: `name(params) [qualifiers] {`, with
+//    constructor init lists, template headers, trailing return types, and
+//    method qualification (`TraceSink::EndShard`) handled; lambdas and
+//    operator overloads have no extractable name and contribute their call
+//    sites to the enclosing definition instead.
+//  * A call site `foo(` resolves to EVERY definition named `foo` in the
+//    TU's include closure — overloads and same-name methods are matched
+//    conservatively (a reachability rule would rather walk one callee too
+//    many than miss the one that allocates).
+//  * Bodies defined in a different .cpp file are invisible, exactly as
+//    they are to the compiler at this point of a TU: reachability stops at
+//    declarations.  The rules treat unresolvable callees per their own
+//    contract (ignored for pattern rules, allowlist-checked for
+//    signal-safety).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "source_scan.hpp"
+
+namespace shep::lint {
+
+/// Blanked code lines joined into one string, with byte offsets of each
+/// line so regex match positions convert back to 1-based line numbers.
+struct JoinedCode {
+  std::string text;
+  std::vector<std::size_t> line_start;
+
+  static JoinedCode From(const SourceFile& file);
+
+  std::size_t LineOf(std::size_t pos) const;
+};
+
+/// One `callee(` occurrence inside a definition's body.
+struct CallSite {
+  std::size_t line = 0;  ///< 1-based line in the defining file.
+  std::size_t pos = 0;   ///< byte offset in the file's JoinedCode (orders
+                         ///< sites within a body, e.g. fork before execv).
+  std::string name;      ///< last name component ("TryPush", not "Ring::TryPush").
+};
+
+/// One function (or method) definition found in a file.
+struct FunctionDef {
+  std::string file;     ///< repo-relative path of the defining file.
+  std::string display;  ///< name as written, qualifiers kept ("TraceSink::EndShard").
+  std::string name;     ///< last component, the resolution key.
+  std::size_t line = 0;            ///< 1-based line the name sits on.
+  std::size_t body_open_line = 0;  ///< line of the body's '{'.
+  std::size_t body_last_line = 0;  ///< line of the matching '}'.
+  std::vector<CallSite> calls;     ///< call sites inside the body, in order.
+  std::vector<std::string> roots;  ///< rules from `// shep-lint: root(...)`
+                                   ///< markers on the signature lines.
+};
+
+/// Extracts every named definition in `file` with its call sites, and
+/// attaches the file's root markers to the definition whose signature
+/// carries them (the line above the name through the body-open line, so
+/// both marker-on-its-own-line and trailing-comment styles work).
+/// Preprocessor directives (including `\` continuations) are skipped, so
+/// macro bodies never masquerade as definitions.
+std::vector<FunctionDef> ExtractFunctions(const SourceFile& file);
+
+/// Resolves a quoted include of `from` to the repo-relative path of a
+/// scanned file: layer-style ("fleet/aggregate.hpp" -> "src/fleet/..."),
+/// local ("repro_common.hpp" -> sibling of `from`), or — for consumer
+/// trees like tools/<tool>/test/ that add parent include dirs — a file in
+/// an ancestor directory of `from` (never the repo root itself, so layer
+/// headers cannot be reached by spelling out "src/...").  Empty when the
+/// target is not part of the scanned tree.
+std::string ResolveInclude(const std::map<std::string, SourceFile>& files,
+                           const std::string& from,
+                           const std::string& include);
+
+/// The call graph of one translation unit: the root file plus everything
+/// it transitively includes (quoted includes resolved within the scanned
+/// tree).  Include cycles are tolerated (each file contributes once).
+class CallGraph {
+ public:
+  static CallGraph Build(const std::map<std::string, SourceFile>& files,
+                         const std::string& root_file);
+
+  /// Every definition in the closure, grouped by file in closure order.
+  const std::vector<FunctionDef>& functions() const { return defs_; }
+
+  /// All definitions matching a call-site name: overloads, and same-name
+  /// methods of unrelated classes, are all returned (conservative).
+  std::vector<const FunctionDef*> Resolve(const std::string& name) const;
+
+  /// Files that contributed definitions, in BFS include order (the root
+  /// file first).
+  const std::vector<std::string>& closure() const { return closure_; }
+
+ private:
+  std::vector<FunctionDef> defs_;
+  std::multimap<std::string, std::size_t> by_name_;
+  std::vector<std::string> closure_;
+};
+
+}  // namespace shep::lint

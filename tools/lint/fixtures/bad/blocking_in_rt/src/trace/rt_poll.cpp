@@ -1,0 +1,20 @@
+// Fixture: a root(blocking-in-rt) function that takes a mutex one call
+// deep — the latency-critical thread would park behind whoever holds it.
+#include <mutex>
+
+namespace demo {
+
+std::mutex g_mutex;
+int g_value = 0;
+
+int ReadShared() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_value;
+}
+
+// shep-lint: root(blocking-in-rt)
+int PollOnce() {
+  return ReadShared();
+}
+
+}  // namespace demo

@@ -1,0 +1,13 @@
+// Fixture: helper one include away from the hot-path root; the violation
+// must be reported in THIS file with the chain back to the root.
+#pragma once
+
+#include <vector>
+
+namespace demo {
+
+inline void Grow(std::vector<int>& v, int x) {
+  v.push_back(x);
+}
+
+}  // namespace demo

@@ -1,0 +1,15 @@
+// Fixture: a root(hot-path-alloc) function that allocates two calls deep —
+// the lint must follow the include-transitive call graph to catch it.
+#include <vector>
+
+#include "trace/grow.hpp"
+
+namespace demo {
+
+// shep-lint: root(hot-path-alloc)
+bool PushHot(std::vector<int>& v, int x) {
+  Grow(v, x);
+  return true;
+}
+
+}  // namespace demo

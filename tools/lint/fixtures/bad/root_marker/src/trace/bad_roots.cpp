@@ -1,0 +1,12 @@
+// Fixture: root-marker hygiene — a marker naming a non-reachability rule
+// and a marker that attaches to no function definition must both fire the
+// (unsuppressable) suppression rule.
+namespace demo {
+
+// shep-lint: root(no-such-rule)
+void A() {}
+
+// shep-lint: root(hot-path-alloc)
+int g_not_a_function = 0;
+
+}  // namespace demo

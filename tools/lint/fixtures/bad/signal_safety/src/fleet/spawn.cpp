@@ -1,0 +1,24 @@
+// Fixture: the classic fork bug — building argv (heap allocation) INSIDE
+// the child of a multi-threaded parent.  Another thread can hold the heap
+// lock at the fork instant, and in the child it never unlocks.
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace demo {
+
+// shep-lint: root(signal-safety)
+int SpawnChild(const std::string& path) {
+  const int pid = fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(path.c_str()));
+    argv.push_back(nullptr);
+    execv(path.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+}  // namespace demo

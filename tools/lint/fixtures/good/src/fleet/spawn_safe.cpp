@@ -1,0 +1,21 @@
+// Fixture: the correct fork->exec shape — argv built before the fork, the
+// child region touching only allowlisted calls and const accessors.
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace demo {
+
+// shep-lint: root(signal-safety)
+int SpawnSafe(const std::string& path, std::vector<char*>& argv) {
+  const int pid = fork();
+  if (pid == 0) {
+    dup2(0, 1);
+    execv(path.c_str(), argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+}  // namespace demo

@@ -1,0 +1,28 @@
+// Fixture: a hot-path root whose callees are clean — fixed-size storage,
+// a resolvable helper that does arithmetic only.  Both reachability rules
+// must walk this and stay silent.
+#pragma once
+
+#include <cstddef>
+
+namespace demo {
+
+inline int Saturate(int x, int cap) { return x > cap ? cap : x; }
+
+class MiniRing {
+ public:
+  // shep-lint: root(hot-path-alloc) root(blocking-in-rt)
+  bool TryPush(int value) {
+    if (count_ == kCap) return false;
+    slots_[count_] = Saturate(value, 1000);
+    ++count_;
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kCap = 8;
+  int slots_[kCap] = {};
+  std::size_t count_ = 0;
+};
+
+}  // namespace demo

@@ -1,0 +1,14 @@
+// Fixture: a justified reachability waiver — the one allocation on the
+// hot path is a deliberate warm-up, documented on the offending line.
+#include <cstddef>
+#include <vector>
+
+namespace demo {
+
+// shep-lint: root(hot-path-alloc)
+void WarmScratch(std::vector<double>& scratch, std::size_t n) {
+  scratch.resize(n);  // shep-lint: allow(hot-path-alloc) warm-up sizing happens once, before the hot loop runs
+  for (std::size_t i = 0; i < n; ++i) scratch[i] = 0.0;
+}
+
+}  // namespace demo

@@ -28,6 +28,36 @@
 //                           silently breaks the bit-exact round trip the
 //                           distributed merge depends on.
 //
+// three call-graph-aware reachability families (call_graph.hpp), seeded
+// from `// shep-lint: root(<rule>)` markers on defining lines:
+//
+//  * hot-path-alloc       — nothing reachable from an annotated hot-path
+//                           root (the kernel slot loop, the synthesis
+//                           scratch paths, TraceRing::TryPush) may
+//                           allocate (new/malloc, growable-container
+//                           push_back/resize/reserve, std::string
+//                           building) or construct a lock: the per-slot
+//                           and per-sample loops are sized once and then
+//                           touch only preallocated storage.
+//  * signal-safety        — in a function marked root(signal-safety), the
+//                           region between the fork() call and the last
+//                           execv*/_exit may only call an async-signal-
+//                           safe allowlist (dup2, close, execv, _exit,
+//                           ...), transitively: the child of a
+//                           multi-threaded parent runs with every other
+//                           thread's locks frozen, so one malloc can
+//                           deadlock it.
+//  * blocking-in-rt       — nothing reachable from a root(blocking-in-rt)
+//                           function (TryPush, the worker heartbeat loop)
+//                           may take a mutex, wait on a condition
+//                           variable, or do stdio/fstream file I/O; these
+//                           paths run on latency-critical threads that
+//                           must never park behind another thread.
+//
+// Reachability findings land on the offending line and carry the call
+// chain (root -> ... -> violation) in both the message and
+// Finding::chain, so a reviewer sees WHY a deep callee fires.
+//
 // plus two hygiene rules:
 //
 //  * nodiscard            — value-returning Parse*/Merge*/Deserialize*/
@@ -35,8 +65,11 @@
 //                           must be [[nodiscard]]: discarding a parse or
 //                           merge result is always a bug.
 //  * suppression          — `// shep-lint: allow(<rule>)` waivers must name
-//                           a real rule and carry a justification; this
-//                           rule is itself unsuppressable.
+//                           a real rule and carry a justification, and
+//                           `root(<rule>)` markers must name a
+//                           reachability rule and sit on a function
+//                           definition; this rule is itself
+//                           unsuppressable.
 //
 // Any rule except `suppression` is waived on a line carrying
 // `// shep-lint: allow(<rule>) <justification>`.
@@ -62,10 +95,23 @@ struct Finding {
   std::size_t line = 0;
   std::string rule;
   std::string message;
+  /// For reachability rules: the call chain root -> ... -> violating
+  /// function, each hop as "Display (file:line)".  Empty for line rules.
+  std::vector<std::string> chain;
 };
 
 /// All rule ids, for validating allow(...) names.
 const std::vector<std::string>& RuleIds();
+
+/// One catalogue entry, for `shep_lint --list-rules`.
+struct RuleInfo {
+  std::string id;
+  std::string description;  ///< one line, matches the header comment above.
+};
+
+/// The full catalogue in stable order (line rules, reachability rules,
+/// hygiene rules).
+const std::vector<RuleInfo>& RuleCatalog();
 
 /// Result of linting a tree.
 struct LintReport {
@@ -74,14 +120,22 @@ struct LintReport {
   std::size_t suppressions_honoured = 0;
 };
 
-/// Lints every *.hpp/*.cpp under root/{src,tests,bench,examples}.
-/// `root` must exist; missing subdirectories are skipped (fixture trees
-/// usually carry only src/).
+/// Lints every *.hpp/*.cpp under root/{src,tests,bench,examples,tools};
+/// any `fixtures` directory under tools is skipped (shep_lint's own bad
+/// fixtures must not lint the real tree red).  `root` must exist; missing
+/// subdirectories are skipped (fixture trees usually carry only src/).
 LintReport LintTree(const std::filesystem::path& root);
 
-/// One finding per line, gcc-style (`path:line: [rule] message`), or as
-/// GitHub Actions workflow commands when `github` is set so CI failures
-/// annotate the offending file:line in the diff view.
+/// Every suppression in the tree, one line each
+/// (`path:line: allow(rule) justification`), for `--list-waivers` audits.
+/// Root markers are listed after the waivers.
+std::string ListWaivers(const std::filesystem::path& root);
+
+/// One finding per line, gcc-style (`path:line: [rule] message`, with
+/// reachability chains indented underneath), or as GitHub Actions workflow
+/// commands when `github` is set so CI failures annotate the offending
+/// file:line in the diff view — the annotation title carries the chain's
+/// first hop so the root contract that fired is visible in the summary.
 std::string FormatFindings(const LintReport& report, bool github);
 
 }  // namespace shep::lint

@@ -10,11 +10,13 @@
 
 #include <algorithm>
 #include <fstream>
+#include <map>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
-#include "gtest/gtest.h"
+#include <gtest/gtest.h>
+#include "call_graph.hpp"
 #include "include_graph.hpp"
 #include "lint_rules.hpp"
 #include "source_scan.hpp"
@@ -100,6 +102,175 @@ TEST(SourceScan, SuppressionInsideStringLiteralIsIgnored) {
   const SourceFile f = ScanSource(
       "auto s = \"// shep-lint: allow(determinism-rand) nope\";\n", "f.cpp");
   EXPECT_TRUE(f.suppressions.empty());
+}
+
+TEST(SourceScan, ParsesRootMarkers) {
+  const SourceFile f = ScanSource(
+      "// shep-lint: root(hot-path-alloc) root(blocking-in-rt)\n"
+      "void F() {}\n",
+      "f.cpp");
+  ASSERT_EQ(f.roots.size(), 2u);
+  EXPECT_EQ(f.roots[0].line, 1u);
+  EXPECT_EQ(f.roots[0].rule, "hot-path-alloc");
+  EXPECT_EQ(f.roots[1].rule, "blocking-in-rt");
+}
+
+TEST(SourceScan, MarkerMustLeadTheComment) {
+  // Prose that merely mentions the marker syntax must parse as prose —
+  // the tool's own doc comments quote it constantly.
+  const SourceFile f = ScanSource(
+      "// waivers use `// shep-lint: allow(layer-dag)` trailing comments\n"
+      "// and roots use `// shep-lint: root(hot-path-alloc)` markers\n",
+      "f.cpp");
+  EXPECT_TRUE(f.suppressions.empty());
+  EXPECT_TRUE(f.roots.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Call graph
+// ---------------------------------------------------------------------------
+
+TEST(CallGraph, ExtractsFreeFunctionsAndCallSites) {
+  const SourceFile f = ScanSource(
+      "int Helper(int x) { return x + 1; }\n"
+      "int Outer(int x) {\n"
+      "  return Helper(x) + Helper(x + 2);\n"
+      "}\n",
+      "f.cpp");
+  const std::vector<FunctionDef> defs = ExtractFunctions(f);
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].name, "Helper");
+  EXPECT_TRUE(defs[0].calls.empty());
+  EXPECT_EQ(defs[1].name, "Outer");
+  ASSERT_EQ(defs[1].calls.size(), 2u);
+  EXPECT_EQ(defs[1].calls[0].name, "Helper");
+  EXPECT_EQ(defs[1].calls[0].line, 3u);
+}
+
+TEST(CallGraph, ExtractsQualifiedMethodsButNotDeclarations) {
+  const SourceFile f = ScanSource(
+      "struct Ring {\n"
+      "  bool TryPush(int v);\n"
+      "};\n"
+      "bool Ring::TryPush(int v) {\n"
+      "  return Accept(v);\n"
+      "}\n",
+      "f.cpp");
+  const std::vector<FunctionDef> defs = ExtractFunctions(f);
+  ASSERT_EQ(defs.size(), 1u);  // the declaration on line 2 is not a def.
+  EXPECT_EQ(defs[0].display, "Ring::TryPush");
+  EXPECT_EQ(defs[0].name, "TryPush");
+  EXPECT_EQ(defs[0].line, 4u);
+  ASSERT_EQ(defs[0].calls.size(), 1u);
+  EXPECT_EQ(defs[0].calls[0].name, "Accept");
+}
+
+TEST(CallGraph, HandlesTemplatesInitListsAndTrailingReturns) {
+  const SourceFile f = ScanSource(
+      "template <class T>\n"
+      "auto First(const T& c) -> decltype(c.front()) {\n"
+      "  return c.front();\n"
+      "}\n"
+      "struct Holder {\n"
+      "  explicit Holder(int n) : size_(n), data_{nullptr} {\n"
+      "    Init(n);\n"
+      "  }\n"
+      "  int size_;\n"
+      "  void* data_;\n"
+      "};\n",
+      "f.cpp");
+  const std::vector<FunctionDef> defs = ExtractFunctions(f);
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].name, "First");
+  EXPECT_EQ(defs[1].name, "Holder");  // the constructor, init list skipped.
+  ASSERT_EQ(defs[1].calls.size(), 1u);
+  EXPECT_EQ(defs[1].calls[0].name, "Init");
+}
+
+TEST(CallGraph, MacroBodiesAndControlKeywordsAreNotFunctions) {
+  const SourceFile f = ScanSource(
+      "#define CHECK(c) \\\n"
+      "  do { if (!(c)) Abort(); } while (false)\n"
+      "void Real() {\n"
+      "  if (Ready()) { while (Spin()) {} }\n"
+      "}\n",
+      "f.cpp");
+  const std::vector<FunctionDef> defs = ExtractFunctions(f);
+  ASSERT_EQ(defs.size(), 1u);  // neither the macro body nor if/while.
+  EXPECT_EQ(defs[0].name, "Real");
+  ASSERT_EQ(defs[0].calls.size(), 2u);
+  EXPECT_EQ(defs[0].calls[0].name, "Ready");
+  EXPECT_EQ(defs[0].calls[1].name, "Spin");
+}
+
+TEST(CallGraph, AttachesRootMarkersBothStyles) {
+  const SourceFile f = ScanSource(
+      "// shep-lint: root(hot-path-alloc)\n"
+      "void HotLoop() {\n"
+      "}\n"
+      "void Beat() {  // shep-lint: root(blocking-in-rt)\n"
+      "}\n",
+      "f.cpp");
+  const std::vector<FunctionDef> defs = ExtractFunctions(f);
+  ASSERT_EQ(defs.size(), 2u);
+  ASSERT_EQ(defs[0].roots.size(), 1u);
+  EXPECT_EQ(defs[0].roots[0], "hot-path-alloc");
+  ASSERT_EQ(defs[1].roots.size(), 1u);
+  EXPECT_EQ(defs[1].roots[0], "blocking-in-rt");
+}
+
+TEST(CallGraph, ResolvesOverloadsConservatively) {
+  std::map<std::string, SourceFile> files;
+  files.emplace("src/solar/x.cpp",
+                ScanSource("#include \"solar/h1.hpp\"\n"
+                           "void Use() { Emit(1); }\n",
+                           "src/solar/x.cpp"));
+  files.emplace("src/solar/h1.hpp",
+                ScanSource("void Emit(int x) { Sink(x); }\n"
+                           "void Emit(double x) { Sink(x); }\n",
+                           "src/solar/h1.hpp"));
+  const CallGraph g = CallGraph::Build(files, "src/solar/x.cpp");
+  EXPECT_EQ(g.closure().size(), 2u);
+  // A call site named Emit matches BOTH overloads: the reachability rules
+  // would rather walk one callee too many than miss the one that
+  // allocates.
+  EXPECT_EQ(g.Resolve("Emit").size(), 2u);
+  EXPECT_EQ(g.Resolve("NoSuch").size(), 0u);
+}
+
+TEST(CallGraph, ToleratesIncludeCycles) {
+  std::map<std::string, SourceFile> files;
+  files.emplace("src/solar/p.hpp",
+                ScanSource("#include \"solar/q.hpp\"\n"
+                           "inline void Ping(int n) { if (n > 0) Pong(n); }\n",
+                           "src/solar/p.hpp"));
+  files.emplace("src/solar/q.hpp",
+                ScanSource("#include \"solar/p.hpp\"\n"
+                           "inline void Pong(int n) { if (n > 0) Ping(n); }\n",
+                           "src/solar/q.hpp"));
+  const CallGraph g = CallGraph::Build(files, "src/solar/p.hpp");
+  EXPECT_EQ(g.closure().size(), 2u);  // each file contributes exactly once.
+  EXPECT_EQ(g.Resolve("Ping").size(), 1u);
+  EXPECT_EQ(g.Resolve("Pong").size(), 1u);
+}
+
+TEST(CallGraph, ResolveIncludeWalksAncestorsButNeverRepoRoot) {
+  std::map<std::string, SourceFile> files;
+  files.emplace("tools/lint/include_graph.hpp",
+                ScanSource("", "tools/lint/include_graph.hpp"));
+  files.emplace("src/fleet/runner.hpp", ScanSource("", "src/fleet/runner.hpp"));
+  // Layer-style resolution.
+  EXPECT_EQ(ResolveInclude(files, "src/fleet/coord.cpp", "fleet/runner.hpp"),
+            "src/fleet/runner.hpp");
+  // Ancestor-directory resolution (tools/<tool>/test/ sees tools/<tool>/).
+  EXPECT_EQ(
+      ResolveInclude(files, "tools/lint/test/t.cpp", "include_graph.hpp"),
+      "tools/lint/include_graph.hpp");
+  // The repo root itself is never an implicit include dir: a layer header
+  // cannot be reached by spelling out "src/...".
+  EXPECT_EQ(
+      ResolveInclude(files, "tools/lint/test/t.cpp", "src/fleet/runner.hpp"),
+      "");
 }
 
 // ---------------------------------------------------------------------------
@@ -229,12 +400,46 @@ TEST(Fixtures, StaleSuppression) {
   EXPECT_EQ(CountRule(r, "suppression"), 1u) << Dump(r);
 }
 
+TEST(Fixtures, HotPathAllocReachable) {
+  // The violation lives two hops from the root, across a quoted include.
+  const LintReport r = LintTree(FixtureDir("bad/hot_path_alloc"));
+  ASSERT_EQ(CountRule(r, "hot-path-alloc"), 1u) << Dump(r);
+  const Finding& f = r.findings[0];
+  EXPECT_EQ(f.file, "src/trace/grow.hpp");
+  ASSERT_EQ(f.chain.size(), 2u);
+  EXPECT_NE(f.chain[0].find("PushHot"), std::string::npos);
+  EXPECT_NE(f.chain[1].find("Grow"), std::string::npos);
+}
+
+TEST(Fixtures, SignalSafetyForkRegion) {
+  // argv assembled between fork() and execv(): two allocating calls in
+  // the async-signal-safe region.
+  const LintReport r = LintTree(FixtureDir("bad/signal_safety"));
+  EXPECT_EQ(CountRule(r, "signal-safety"), 2u) << Dump(r);
+}
+
+TEST(Fixtures, BlockingInRtReachable) {
+  const LintReport r = LintTree(FixtureDir("bad/blocking_in_rt"));
+  ASSERT_EQ(CountRule(r, "blocking-in-rt"), 1u) << Dump(r);
+  const Finding& f = r.findings[0];
+  ASSERT_EQ(f.chain.size(), 2u);
+  EXPECT_NE(f.chain[0].find("PollOnce"), std::string::npos);
+}
+
+TEST(Fixtures, RootMarkerHygiene) {
+  // root(no-such-rule) and a marker attached to no definition both fire
+  // the suppression rule.
+  const LintReport r = LintTree(FixtureDir("bad/root_marker"));
+  EXPECT_EQ(CountRule(r, "suppression"), 2u) << Dump(r);
+}
+
 TEST(Fixtures, GoodTreeLintsClean) {
   const LintReport r = LintTree(FixtureDir("good"));
   EXPECT_TRUE(r.findings.empty()) << Dump(r);
-  // Both justified unordered waivers were exercised, not ignored.
-  EXPECT_EQ(r.suppressions_honoured, 2u);
-  EXPECT_GE(r.files_scanned, 7u);
+  // Both unordered waivers plus the hot-path warm-up waiver were
+  // exercised, not ignored.
+  EXPECT_EQ(r.suppressions_honoured, 3u);
+  EXPECT_GE(r.files_scanned, 10u);
 }
 
 // ---------------------------------------------------------------------------
@@ -243,18 +448,51 @@ TEST(Fixtures, GoodTreeLintsClean) {
 
 TEST(RealTree, LintsClean) {
   // Same check as the `lint_tree` CTest case, but through the library so
-  // a failure prints the findings in the gtest log.
+  // a failure prints the findings in the gtest log.  The floor guards
+  // against the walk silently losing a directory; it is deliberately not
+  // an exact pin so adding files never breaks this test.
   const LintReport r = LintTree(SHEP_REPO_ROOT);
   EXPECT_TRUE(r.findings.empty()) << Dump(r);
-  EXPECT_GT(r.files_scanned, 100u);
+  EXPECT_GE(r.files_scanned, 180u);
+}
+
+TEST(RealTree, DeclaresReachabilityRoots) {
+  // The contracts the reachability rules exist for must actually be
+  // anchored in the sources: kernel slot loop, trace ring, fork->exec.
+  const std::string waivers = ListWaivers(SHEP_REPO_ROOT);
+  EXPECT_NE(waivers.find("root(hot-path-alloc)"), std::string::npos);
+  EXPECT_NE(waivers.find("root(signal-safety)"), std::string::npos);
+  EXPECT_NE(waivers.find("root(blocking-in-rt)"), std::string::npos);
 }
 
 TEST(Findings, GithubFormatAnnotatesFileAndLine) {
   LintReport r;
-  r.findings.push_back({"src/fleet/runner.cpp", 12, "layer-dag", "bad edge"});
+  r.findings.push_back(
+      {"src/fleet/runner.cpp", 12, "layer-dag", "bad edge", {}});
   EXPECT_EQ(FormatFindings(r, /*github=*/true),
             "::error file=src/fleet/runner.cpp,line=12,"
             "title=shep_lint layer-dag::bad edge\n");
+}
+
+TEST(Findings, GithubFormatCarriesChainFirstHop) {
+  LintReport r;
+  r.findings.push_back({"src/a.cpp", 7, "hot-path-alloc", "allocates",
+                        {"Root (src/b.hpp:3)", "Leaf (src/a.cpp:7)"}});
+  EXPECT_EQ(FormatFindings(r, /*github=*/true),
+            "::error file=src/a.cpp,line=7,"
+            "title=shep_lint hot-path-alloc via Root (src/b.hpp:3)::"
+            "allocates [chain: Root (src/b.hpp:3) -> Leaf (src/a.cpp:7)]\n");
+}
+
+TEST(Findings, TextFormatIndentsTheChain) {
+  LintReport r;
+  r.findings.push_back({"src/a.cpp", 7, "blocking-in-rt", "takes a lock",
+                        {"Root (src/b.hpp:3)", "Leaf (src/a.cpp:7)"}});
+  EXPECT_EQ(FormatFindings(r, /*github=*/false),
+            "src/a.cpp:7: [blocking-in-rt] takes a lock\n"
+            "    chain:\n"
+            "      -> Root (src/b.hpp:3)\n"
+            "      -> Leaf (src/a.cpp:7)\n");
 }
 
 }  // namespace
