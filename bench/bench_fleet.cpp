@@ -25,6 +25,7 @@
 //                     archive it and the next PR's trajectory continues
 //                     even when the gate trips.  Comparison goes to stderr.
 //   --threshold PCT   regression tolerance for --compare, in percent.
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
@@ -142,10 +143,15 @@ int main(int argc, char** argv) {
                 moments_equal(a.mape, b.mape) &&
                 moments_equal(a.cycles_per_wakeup, b.cycles_per_wakeup) &&
                 moments_equal(a.ops_per_wakeup, b.ops_per_wakeup) &&
+                moments_equal(a.availability, b.availability) &&
+                moments_equal(a.post_recovery_violation_rate,
+                              b.post_recovery_violation_rate) &&
                 a.violation_hist.bins() == b.violation_hist.bins() &&
                 a.cycles_hist.bins() == b.cycles_hist.bins() &&
                 a.violations == b.violations &&
-                a.scored_slots == b.scored_slots;
+                a.scored_slots == b.scored_slots &&
+                a.downtime_slots == b.downtime_slots &&
+                a.recoveries == b.recoveries;
   }
   if (!identical) {
     std::cerr << "FATAL: serial and parallel summaries diverge\n";
@@ -179,14 +185,41 @@ int main(int argc, char** argv) {
   // regression gate below still reads the untraced nodes_per_second, so
   // tracing cost shows up in the trajectory without ever tripping the
   // build.
-  TraceSink trace_sink;  // default options: directory empty.
   FleetRunOptions traced_options;
   traced_options.pool = &pool;
+  // Size the rings to hold the largest shard outright, exactly like
+  // shep_fleet_worker: the default 16 Ki-event ring silently dropped tens
+  // of thousands of events on this workload, so the measured drain cost
+  // (and the trace_events count below) covered only part of the run.
+  // Unlike the worker, RunFleet runs a worker's shards back to back with
+  // no flush between them, so sizing alone cannot make the run drop-free
+  // when the single drain lags sixteen hot producers — block_on_full
+  // turns that lag into measured backpressure instead of lost events.
+  TraceSinkOptions sink_options;  // directory stays empty: stats-only.
+  sink_options.block_on_full = true;
+  {
+    const ShardPlan sized = BuildShardPlan(spec, traced_options.shard_size);
+    std::size_t max_shard_nodes = 0;
+    for (const ShardRange& range : sized.shards) {
+      max_shard_nodes = std::max(max_shard_nodes, range.node_count());
+    }
+    sink_options.ring_capacity = std::max<std::size_t>(
+        sink_options.ring_capacity,
+        max_shard_nodes * spec.days *
+                static_cast<std::size_t>(spec.slots_per_day) +
+            2);
+  }
+  TraceSink trace_sink(sink_options);
   traced_options.trace_sink = &trace_sink;
   FleetRunStats traced_info;
   const FleetSummary traced = RunFleet(spec, traced_options, &traced_info);
   if (traced.ToCsv() != serial.ToCsv()) {
     std::cerr << "FATAL: traced summary diverges from untraced\n";
+    return 1;
+  }
+  if (traced_info.trace_dropped != 0) {
+    std::cerr << "FATAL: traced run dropped " << traced_info.trace_dropped
+              << " events despite block_on_full\n";
     return 1;
   }
 

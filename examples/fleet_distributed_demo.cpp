@@ -23,10 +23,17 @@
 // exercises.
 //
 // Usage: fleet_distributed_demo [workers] [nodes_per_cell] [trace_dir]
-//                               [--procs N] [--chaos]
+//                               [--procs N] [--chaos] [--faults]
+//                               [--csv FILE]
 //        (defaults: 3 in-process workers, 4 nodes per cell, tracing off)
+//
+// --faults switches on a canned fault-injection spec (node outages, sensor
+// dropout, panel decay, battery aging) so the bit-identity proof also
+// covers the graceful-degradation channel; --csv FILE archives the merged
+// summary CSV (the CI faulted-campaign smoke step uploads it).
 #include <csignal>
 #include <exception>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <numeric>
@@ -62,6 +69,8 @@ int main(int argc, char** argv) try {
 
   std::size_t procs = 0;  // 0 = simulated workers in this process.
   bool chaos = false;
+  bool faults = false;
+  std::string csv_path;
   std::vector<std::string> positional;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -74,6 +83,13 @@ int main(int argc, char** argv) try {
       procs = static_cast<std::size_t>(*n);
     } else if (arg == "--chaos") {
       chaos = true;
+    } else if (arg == "--faults") {
+      faults = true;
+    } else if (arg == "--csv") {
+      if (i + 1 >= argc) {
+        throw std::invalid_argument("--csv needs a file path");
+      }
+      csv_path = argv[++i];
     } else {
       positional.push_back(arg);
     }
@@ -112,6 +128,20 @@ int main(int argc, char** argv) try {
   spec.node.duty.active_power_w = 0.40;
   spec.node.warmup_days = 20;
   spec.initial_level_jitter = 0.2;
+  if (faults) {
+    // A canned degraded deployment: roughly one multi-hour outage per node
+    // per five days, a dropout burst every other day, and slow panel/
+    // battery wear.  The fault spec rides the scenario (and its Describe()
+    // text through the coordinator), so the bit-identity proofs below
+    // cover the graceful-degradation channel end to end.
+    spec.name += "_faulted";
+    spec.faults.outage_rate_per_day = 0.2;
+    spec.faults.outage_mean_slots = 6.0;
+    spec.faults.dropout_rate_per_day = 0.5;
+    spec.faults.dropout_mean_slots = 4.0;
+    spec.faults.panel_decay_per_day = 0.001;
+    spec.faults.battery_aging_per_day = 0.002;
+  }
 
   // ---- Stage 1: one deterministic plan every process can rebuild. --------
   const ShardPlan plan = BuildShardPlan(spec, /*shard_size=*/5);
@@ -154,6 +184,12 @@ int main(int argc, char** argv) try {
     std::cout << "coordinated (" << procs << " worker processes"
               << (chaos ? ", chaos" : "") << ") vs monolithic RunFleet: "
               << (identical ? "bit-identical" : "DIVERGED") << '\n';
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) throw std::runtime_error("cannot write " + csv_path);
+      out << merged.ToCsv();
+      std::cout << "csv: " << csv_path << '\n';
+    }
     return identical ? 0 : 1;
 #endif
   }
@@ -233,10 +269,16 @@ int main(int argc, char** argv) try {
   std::cout << "distributed (" << partials.size()
             << " serialized partial runs) vs monolithic RunFleet: "
             << (identical ? "bit-identical" : "DIVERGED") << '\n';
+  if (!csv_path.empty()) {
+    std::ofstream out(csv_path);
+    if (!out) throw std::runtime_error("cannot write " + csv_path);
+    out << merged.ToCsv();
+    std::cout << "csv: " << csv_path << '\n';
+  }
   return identical ? 0 : 1;
 } catch (const std::exception& e) {
   std::cerr << "fleet_distributed_demo: " << e.what()
             << "\nUsage: fleet_distributed_demo [workers] [nodes_per_cell]"
-               " [trace_dir] [--procs N] [--chaos]\n";
+               " [trace_dir] [--procs N] [--chaos] [--faults] [--csv FILE]\n";
   return 1;
 }

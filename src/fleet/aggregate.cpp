@@ -205,6 +205,24 @@ void CellAccumulator::Add(const NodeSimResult& result) {
     ops_per_wakeup.Add(result.compute.ops_per_prediction());
     cycles_hist.Add(cyc);
   }
+  // Graceful-degradation channel: only fault-injected nodes contribute, so
+  // healthy cells keep availability.count == 0 and render no fault columns.
+  if (result.faulted) {
+    const double up = static_cast<double>(result.slots);
+    const double down = static_cast<double>(result.downtime_slots);
+    // The kernel guarantees up + down > 0 even for an always-dark node.
+    availability.Add(up / (up + down));
+    downtime_slots += result.downtime_slots;
+    recoveries += result.recoveries;
+    // A node that never recovered inside the scored horizon has no
+    // measured re-warm-up cost; averaging a 0.0 placeholder would fake a
+    // perfect recovery, so such nodes stay out (own count again).
+    if (result.post_recovery_slots > 0) {
+      post_recovery_violation_rate.Add(
+          static_cast<double>(result.post_recovery_violations) /
+          static_cast<double>(result.post_recovery_slots));
+    }
+  }
 }
 
 void CellAccumulator::Merge(const CellAccumulator& other) {
@@ -219,6 +237,10 @@ void CellAccumulator::Merge(const CellAccumulator& other) {
   cycles_per_wakeup.Merge(other.cycles_per_wakeup);
   ops_per_wakeup.Merge(other.ops_per_wakeup);
   cycles_hist.Merge(other.cycles_hist);
+  availability.Merge(other.availability);
+  post_recovery_violation_rate.Merge(other.post_recovery_violation_rate);
+  downtime_slots += other.downtime_slots;
+  recoveries += other.recoveries;
 }
 
 void CellAccumulator::Serialize(std::ostream& os) const {
@@ -229,9 +251,12 @@ void CellAccumulator::Serialize(std::ostream& os) const {
   mape.Serialize(os);
   cycles_per_wakeup.Serialize(os);
   ops_per_wakeup.Serialize(os);
+  availability.Serialize(os);
+  post_recovery_violation_rate.Serialize(os);
   violation_hist.Serialize(os);
   cycles_hist.Serialize(os);
-  os << "totals " << violations << ' ' << scored_slots << '\n';
+  os << "totals " << violations << ' ' << scored_slots << ' '
+     << downtime_slots << ' ' << recoveries << '\n';
 }
 
 CellAccumulator CellAccumulator::Deserialize(std::istream& is) {
@@ -243,11 +268,15 @@ CellAccumulator CellAccumulator::Deserialize(std::istream& is) {
   acc.mape = StreamingMoments::Deserialize(is);
   acc.cycles_per_wakeup = StreamingMoments::Deserialize(is);
   acc.ops_per_wakeup = StreamingMoments::Deserialize(is);
+  acc.availability = StreamingMoments::Deserialize(is);
+  acc.post_recovery_violation_rate = StreamingMoments::Deserialize(is);
   acc.violation_hist = FixedHistogram::Deserialize(is);
   acc.cycles_hist = FixedHistogram::Deserialize(is);
   serdes::ExpectToken(is, "totals");
   acc.violations = serdes::ReadU64(is);
   acc.scored_slots = serdes::ReadU64(is);
+  acc.downtime_slots = serdes::ReadU64(is);
+  acc.recoveries = serdes::ReadU64(is);
   return acc;
 }
 
@@ -284,32 +313,57 @@ TableBuilder BuildSummaryTable(const FleetSummary& summary, bool csv) {
   auto cost = [&](const CellAccumulator& s, double v) {
     return s.has_compute_cost() ? FormatFixed(v, 1) : std::string("n/a");
   };
-  table.Columns({"site", "predictor", "storage_j", "nodes", "viol_mean",
-                 "viol_p50", "viol_p95", "viol_max", "mean_duty",
-                 "wasted_harvest", "min_soc", "mape", "cyc_mean", "cyc_p95",
-                 "ops_mean"});
+  // Fault columns appear only when some cell actually ran under fault
+  // injection; a healthy run's table and CSV stay byte-identical to
+  // pre-fault output (pinned by the zero-fault golden fixture).
+  bool any_faulted = false;
+  for (const CellAccumulator& s : summary.stats) {
+    any_faulted = any_faulted || s.has_fault_stats();
+  }
+  std::vector<std::string> columns = {
+      "site", "predictor", "storage_j", "nodes", "viol_mean", "viol_p50",
+      "viol_p95", "viol_max", "mean_duty", "wasted_harvest", "min_soc",
+      "mape", "cyc_mean", "cyc_p95", "ops_mean"};
+  if (any_faulted) {
+    columns.insert(columns.end(), {"availability", "downtime_slots",
+                                   "recoveries", "postrec_viol"});
+  }
+  table.Columns(columns);
   std::size_t last_site = 0;
   for (std::size_t i = 0; i < summary.cells.size(); ++i) {
     const ScenarioCell& cell = summary.cells[i];
     const CellAccumulator& s = summary.stats[i];
     if (!csv && i > 0 && cell.site_index != last_site) table.AddSeparator();
     last_site = cell.site_index;
-    table.AddRow({cell.site_code, cell.predictor_label,
-                  FormatFixed(cell.storage_j, 0), std::to_string(s.nodes()),
-                  fmt(s.violation_rate.mean), fmt(quantile(s, 0.50)),
-                  fmt(quantile(s, 0.95)),
-                  fmt(s.violation_rate.max), fmt(s.mean_duty.mean),
-                  fmt(s.wasted_fraction.mean),
-                  // The fleet-wide storage low-water mark: the mean across
-                  // nodes of each node's minimum SoC fraction, recorded per
-                  // node since the first runner but surfaced here.
-                  fmt(s.min_soc.mean),
-                  // No node of the cell had an in-ROI slot: accuracy was
-                  // not measured, which is not the same as perfect.
-                  s.mape.valid() ? fmt(s.mape.mean) : std::string("n/a"),
-                  cost(s, s.cycles_per_wakeup.mean),
-                  cost(s, s.has_compute_cost() ? cycles_p95(s) : 0.0),
-                  cost(s, s.ops_per_wakeup.mean)});
+    std::vector<std::string> row = {
+        cell.site_code, cell.predictor_label,
+        FormatFixed(cell.storage_j, 0), std::to_string(s.nodes()),
+        fmt(s.violation_rate.mean), fmt(quantile(s, 0.50)),
+        fmt(quantile(s, 0.95)),
+        fmt(s.violation_rate.max), fmt(s.mean_duty.mean),
+        fmt(s.wasted_fraction.mean),
+        // The fleet-wide storage low-water mark: the mean across
+        // nodes of each node's minimum SoC fraction, recorded per
+        // node since the first runner but surfaced here.
+        fmt(s.min_soc.mean),
+        // No node of the cell had an in-ROI slot: accuracy was
+        // not measured, which is not the same as perfect.
+        s.mape.valid() ? fmt(s.mape.mean) : std::string("n/a"),
+        cost(s, s.cycles_per_wakeup.mean),
+        cost(s, s.has_compute_cost() ? cycles_p95(s) : 0.0),
+        cost(s, s.ops_per_wakeup.mean)};
+    if (any_faulted) {
+      row.push_back(s.has_fault_stats() ? fmt(s.availability.mean)
+                                        : std::string("n/a"));
+      row.push_back(std::to_string(s.downtime_slots));
+      row.push_back(std::to_string(s.recoveries));
+      // A cell whose nodes never recovered in-horizon has no measured
+      // re-warm-up cost.
+      row.push_back(s.post_recovery_violation_rate.valid()
+                        ? fmt(s.post_recovery_violation_rate.mean)
+                        : std::string("n/a"));
+    }
+    table.AddRow(row);
   }
   return table;
 }

@@ -118,6 +118,14 @@ struct CellAccumulator {
   StreamingMoments cycles_per_wakeup;
   StreamingMoments ops_per_wakeup;
   FixedHistogram cycles_hist;        ///< cycles-per-wake-up distribution.
+  /// Graceful-degradation channel, fed only by fault-injected nodes
+  /// (NodeSimResult.faulted) — the same own-count discipline as the MCU
+  /// cost channel, which is what keeps healthy runs' tables and CSV
+  /// byte-identical to pre-fault output (no fault columns at all).
+  StreamingMoments availability;     ///< per-node up / (up + downtime).
+  StreamingMoments post_recovery_violation_rate;  ///< re-warm-up cost.
+  std::uint64_t downtime_slots = 0;  ///< summed post-warm-up outage slots.
+  std::uint64_t recoveries = 0;      ///< summed outage→up transitions.
 
   void Add(const NodeSimResult& result);
   void Merge(const CellAccumulator& other);
@@ -125,6 +133,8 @@ struct CellAccumulator {
   std::size_t nodes() const { return violation_rate.count; }
   /// True when at least one node of the cell reported compute cost.
   bool has_compute_cost() const { return cycles_per_wakeup.valid(); }
+  /// True when at least one node of the cell ran under fault injection.
+  bool has_fault_stats() const { return availability.valid(); }
 
   /// Multi-line text form of every field (moments, histograms incl. NaN
   /// counts, integer totals), bit-exact through Deserialize; this is what

@@ -1,0 +1,123 @@
+#include "fleet/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/rng.hpp"
+#include "fleet/scenario.hpp"  // DeriveSeed.
+
+namespace shep {
+
+void FaultSpec::Validate(std::size_t days, int slots_per_day) const {
+  const double horizon_slots =
+      static_cast<double>(days) * static_cast<double>(slots_per_day);
+  for (double rate : {outage_rate_per_day, dropout_rate_per_day}) {
+    SHEP_REQUIRE(std::isfinite(rate) && rate >= 0.0,
+                 "fault rates must be finite and non-negative");
+    // The arrival model is one Bernoulli draw per slot at rate/slots_per_day,
+    // which stops being a probability past one arrival per slot.
+    SHEP_REQUIRE(rate <= static_cast<double>(slots_per_day),
+                 "fault rates must not exceed slots_per_day arrivals/day");
+  }
+  if (outage_rate_per_day > 0.0) {
+    SHEP_REQUIRE(std::isfinite(outage_mean_slots) &&
+                     outage_mean_slots >= 1.0 &&
+                     outage_mean_slots <= horizon_slots,
+                 "outage_mean_slots must be in [1, days * slots_per_day]");
+  }
+  if (dropout_rate_per_day > 0.0) {
+    // A sensor dark for more than a day is an outage, not a dropout.
+    SHEP_REQUIRE(std::isfinite(dropout_mean_slots) &&
+                     dropout_mean_slots >= 1.0 &&
+                     dropout_mean_slots <=
+                         static_cast<double>(slots_per_day),
+                 "dropout windows must fit within one day");
+  }
+  SHEP_REQUIRE(std::isfinite(panel_decay_per_day) &&
+                   panel_decay_per_day >= 0.0 && panel_decay_per_day < 1.0,
+               "panel_decay_per_day must be in [0, 1)");
+  SHEP_REQUIRE(std::isfinite(battery_aging_per_day) &&
+                   battery_aging_per_day >= 0.0 &&
+                   battery_aging_per_day < 1.0,
+               "battery_aging_per_day must be in [0, 1)");
+  SHEP_REQUIRE(recovery_window_slots <=
+                   days * static_cast<std::size_t>(slots_per_day),
+               "recovery_window_slots must fit within the horizon");
+}
+
+namespace {
+
+/// Exponential duration with the given mean, rounded to whole slots and
+/// floored at one: the MTTR-style repair model.
+std::uint32_t DrawDurationSlots(Rng& rng, double mean_slots) {
+  const double drawn =
+      std::round(-mean_slots * std::log1p(-rng.NextDouble()));
+  return static_cast<std::uint32_t>(std::max(1.0, drawn));
+}
+
+/// Draws sorted disjoint windows over [0, total_slots): while outside a
+/// window, each slot is a Bernoulli arrival at rate/slots_per_day; an
+/// arrival opens a window of exponential mean duration.  One dedicated Rng
+/// per channel, so the outage and dropout draw sequences are independent.
+void DrawWindows(std::vector<FaultWindow>& out, Rng rng, double rate_per_day,
+                 double mean_slots, int slots_per_day,
+                 std::uint32_t total_slots) {
+  if (rate_per_day <= 0.0) return;
+  const double p = rate_per_day / static_cast<double>(slots_per_day);
+  std::uint32_t slot = 0;
+  while (slot < total_slots) {
+    if (!rng.NextBool(p)) {
+      ++slot;
+      continue;
+    }
+    FaultWindow window;
+    window.begin = slot;
+    window.end = std::min(total_slots,
+                          slot + DrawDurationSlots(rng, mean_slots));
+    out.push_back(window);
+    slot = window.end;
+  }
+}
+
+}  // namespace
+
+void BuildFaultSchedule(const FaultSpec& spec, std::uint64_t fault_seed,
+                        std::size_t days, int slots_per_day,
+                        FaultSchedule& out) {
+  SHEP_REQUIRE(days > 0 && slots_per_day > 0,
+               "fault schedule needs a non-empty horizon");
+  out.Clear();
+  const auto total_slots = static_cast<std::uint32_t>(
+      days * static_cast<std::size_t>(slots_per_day));
+
+  // Sub-lanes of the node's fault seed: one independent stream per fault
+  // channel, so tuning the dropout rate can never shift an outage draw.
+  DrawWindows(out.outages, Rng(DeriveSeed(fault_seed, 0, 0)),
+              spec.outage_rate_per_day, spec.outage_mean_slots,
+              slots_per_day, total_slots);
+  DrawWindows(out.dropouts, Rng(DeriveSeed(fault_seed, 1, 0)),
+              spec.dropout_rate_per_day, spec.dropout_mean_slots,
+              slots_per_day, total_slots);
+
+  // Degradation is deterministic decay, not a draw: day d multiplies the
+  // day-0 value by (1 - rate)^d, computed by running product so every node
+  // of a cell ages through the identical sequence.
+  out.panel_factor.resize(days);
+  out.capacity_factor.resize(days);
+  double panel = 1.0;
+  double capacity = 1.0;
+  for (std::size_t d = 0; d < days; ++d) {
+    out.panel_factor[d] = panel;
+    out.capacity_factor[d] = capacity;
+    panel *= 1.0 - spec.panel_decay_per_day;
+    capacity *= 1.0 - spec.battery_aging_per_day;
+  }
+
+  out.recovery_window_slots =
+      spec.recovery_window_slots > 0
+          ? static_cast<std::uint32_t>(spec.recovery_window_slots)
+          : static_cast<std::uint32_t>(slots_per_day);
+}
+
+}  // namespace shep

@@ -10,9 +10,11 @@ std::string FleetPartial::Serialize() const {
   SHEP_REQUIRE(scenario_name.find_first_of(" \t\n") == std::string::npos,
                "scenario names must be whitespace-free to serialize");
   std::ostringstream os;
-  // v2: CellAccumulator gained the min_soc moments (PR 7); v1 partials
-  // would mis-align on parse, so the version token rejects them up front.
-  os << "shep-fleet-partial v2\n";
+  // v2: CellAccumulator gained the min_soc moments (PR 7).  v3: the
+  // graceful-degradation channel (availability and post-recovery moments,
+  // downtime/recovery totals).  Older partials would mis-align on parse,
+  // so the version token rejects them up front.
+  os << "shep-fleet-partial v3\n";
   os << "scenario " << scenario_name << '\n';
   os << "fingerprint " << plan_fingerprint << '\n';
   os << "nodes " << nodes_simulated << '\n';
@@ -35,7 +37,7 @@ std::string FleetPartial::Serialize() const {
 FleetPartial FleetPartial::Parse(const std::string& text) {
   std::istringstream is(text);
   serdes::ExpectToken(is, "shep-fleet-partial");
-  serdes::ExpectToken(is, "v2");
+  serdes::ExpectToken(is, "v3");
   FleetPartial partial;
   serdes::ExpectToken(is, "scenario");
   is >> partial.scenario_name;

@@ -12,6 +12,7 @@
 #include "core/ar.hpp"
 #include "core/ewma.hpp"
 #include "core/wcma.hpp"
+#include "fleet/faults.hpp"
 #include "hw/costed_fixed.hpp"
 #include "mgmt/node_sim.hpp"
 #include "mgmt/node_sim_kernel.hpp"
@@ -32,17 +33,20 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 /// The per-kind dispatch behind SimulateSpecNode, parameterized on the
-/// kernel's slot probe so the traced and untraced paths share one
-/// definition.  With NoSlotProbe the probe call sites vanish and this IS
-/// the untraced hot path; with NodeTraceProbe each slot is offered to the
-/// worker's ring.  The probe never feeds back into the simulation, so both
-/// instantiations produce bit-identical results.
-template <class Probe>
+/// kernel's slot probe and fault model so the traced/untraced and
+/// faulted/healthy paths share one definition.  With NoSlotProbe the probe
+/// call sites vanish and this IS the untraced hot path; with NodeTraceProbe
+/// each slot is offered to the worker's ring.  Likewise NoFaultModel
+/// compiles the fault branches away entirely, while FaultModel (built from
+/// a precomputed per-node schedule) injects outages, dropouts, and
+/// degradation.  Neither hook feeds back into the healthy simulation, so
+/// the healthy instantiations all produce bit-identical results.
+template <class Probe, class Faults>
 NodeSimResult SimulateSpecNodeImpl(const PredictorSpec& spec,
                                    int slots_per_day,
                                    const SlotSeries& series,
                                    const NodeSimConfig& config,
-                                   const Probe& probe) {
+                                   const Probe& probe, Faults faults) {
   // The hot fleet kinds get a stack-constructed concrete predictor and the
   // statically dispatched kernel; anything else takes the generic path.
   // Every branch reproduces PredictorSpec::Make's construction exactly, so
@@ -50,26 +54,26 @@ NodeSimResult SimulateSpecNodeImpl(const PredictorSpec& spec,
   switch (spec.kind) {
     case PredictorKind::kWcma: {
       Wcma predictor(spec.wcma, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config, probe);
+      return SimulateNodeKernel(predictor, series, config, probe, faults);
     }
     case PredictorKind::kWcmaFixed: {
       CostedFixedWcma predictor(spec.wcma, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config, probe);
+      return SimulateNodeKernel(predictor, series, config, probe, faults);
     }
     case PredictorKind::kEwma: {
       Ewma predictor(spec.ewma_weight, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config, probe);
+      return SimulateNodeKernel(predictor, series, config, probe, faults);
     }
     case PredictorKind::kAr: {
       ArPredictor predictor(spec.ar, slots_per_day);
-      return SimulateNodeKernel(predictor, series, config, probe);
+      return SimulateNodeKernel(predictor, series, config, probe, faults);
     }
     default: {
       const auto predictor = spec.Make(slots_per_day);
       // The kernel at P = Predictor is exactly the virtual SimulateNode
       // entry point, here with the probe threaded through.
       Predictor& base = *predictor;
-      return SimulateNodeKernel(base, series, config, probe);
+      return SimulateNodeKernel(base, series, config, probe, faults);
     }
   }
 }
@@ -80,7 +84,7 @@ NodeSimResult SimulateSpecNode(const PredictorSpec& spec, int slots_per_day,
                                const SlotSeries& series,
                                const NodeSimConfig& config) {
   return SimulateSpecNodeImpl(spec, slots_per_day, series, config,
-                              NoSlotProbe{});
+                              NoSlotProbe{}, NoFaultModel{});
 }
 
 FleetPartial RunFleetShards(const ShardPlan& plan,
@@ -193,6 +197,17 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
     sink_before = sink->stats();
   }
 
+  // Fault injection is a spec-level opt-in: a zero FaultSpec takes the
+  // healthy NoFaultModel instantiation, reproducing fault-free results bit
+  // for bit.  Schedules are built OUTSIDE the kernel (BuildFaultSchedule
+  // allocates; the kernel is a hot-path-alloc root) into one reusable
+  // scratch per batch worker — shards sharing a worker run serialized, so
+  // the buffers are race-free, and schedule placement never affects values
+  // (every window is pure (spec, node.fault_seed) index math).
+  const bool faulted = s.faults.any();
+  std::vector<FaultSchedule> fault_scratch(
+      faulted ? ParallelWorkerCount(options.pool, subset.size()) : 0);
+
   t0 = std::chrono::steady_clock::now();
   // Worker-indexed so a traced run can push onto a per-worker ring: each
   // shard runs whole on one worker (the ParallelForWorker contract), which
@@ -214,6 +229,15 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
       config.storage.capacity_j = cell.storage_j;
       config.initial_level_fraction = node.initial_level_fraction;
 
+      if (faulted) {
+        BuildFaultSchedule(s.faults, node.fault_seed, s.days,
+                           s.slots_per_day, fault_scratch[worker]);
+      }
+      auto simulate = [&](const auto& probe, auto fault_model) {
+        return SimulateSpecNodeImpl(s.predictors[cell.predictor_index],
+                                    s.slots_per_day, *series[lane], config,
+                                    probe, fault_model);
+      };
       NodeSimResult result;
       if (sink != nullptr) {
         NodeTraceProbe probe;
@@ -222,12 +246,15 @@ FleetPartial RunFleetShards(const ShardPlan& plan,
         probe.node = node.index;
         probe.cell = node.cell;
         probe.dropped = &trace_dropped;
-        result = SimulateSpecNodeImpl(s.predictors[cell.predictor_index],
-                                      s.slots_per_day, *series[lane], config,
-                                      probe);
+        probe.block_on_full = sink->options().block_on_full;
+        result = faulted
+                     ? simulate(probe, FaultModel(fault_scratch[worker]))
+                     : simulate(probe, NoFaultModel{});
       } else {
-        result = SimulateSpecNode(s.predictors[cell.predictor_index],
-                                  s.slots_per_day, *series[lane], config);
+        result = faulted
+                     ? simulate(NoSlotProbe{},
+                                FaultModel(fault_scratch[worker]))
+                     : simulate(NoSlotProbe{}, NoFaultModel{});
       }
 
       if (local.cells.empty() || local.cells.back().first != node.cell) {

@@ -128,6 +128,7 @@ void ScenarioSpec::Validate() const {
                "horizon must leave at least one scored slot past the warm-up");
   SHEP_REQUIRE(initial_level_jitter >= 0.0 && initial_level_jitter <= 0.5,
                "initial_level_jitter must be in [0, 0.5]");
+  faults.Validate(days, slots_per_day);
   node.duty.Validate();
   node.storage.Validate();
   SHEP_REQUIRE(node.initial_level_fraction >= 0.0 &&
@@ -140,7 +141,9 @@ std::string ScenarioSpec::Describe() const {
   SHEP_REQUIRE(name.find_first_of(" \t\n") == std::string::npos,
                "scenario names must be whitespace-free to serialize");
   std::ostringstream os;
-  os << "shep-scenario v1\n";
+  // v2: the spec gained the faults block (deterministic fault injection);
+  // v1 bytes would mis-align on parse, so the version token rejects them.
+  os << "shep-scenario v2\n";
   os << "name " << name << '\n';
   os << "seed " << seed << '\n';
   os << "shape " << days << ' ' << slots_per_day << ' ' << nodes_per_cell
@@ -204,6 +207,19 @@ std::string ScenarioSpec::Describe() const {
   os << ' ' << node.warmup_days << ' ';
   serdes::WriteDouble(os, initial_level_jitter);
   os << '\n';
+  os << "faults outage ";
+  serdes::WriteDouble(os, faults.outage_rate_per_day);
+  os << ' ';
+  serdes::WriteDouble(os, faults.outage_mean_slots);
+  os << " dropout ";
+  serdes::WriteDouble(os, faults.dropout_rate_per_day);
+  os << ' ';
+  serdes::WriteDouble(os, faults.dropout_mean_slots);
+  os << " panel ";
+  serdes::WriteDouble(os, faults.panel_decay_per_day);
+  os << " aging ";
+  serdes::WriteDouble(os, faults.battery_aging_per_day);
+  os << " recovery " << faults.recovery_window_slots << '\n';
   os << "end-scenario\n";
   return os.str();
 }
@@ -211,7 +227,7 @@ std::string ScenarioSpec::Describe() const {
 ScenarioSpec ParseScenarioSpec(const std::string& text) {
   std::istringstream is(text);
   serdes::ExpectToken(is, "shep-scenario");
-  serdes::ExpectToken(is, "v1");
+  serdes::ExpectToken(is, "v2");
   ScenarioSpec spec;
   serdes::ExpectToken(is, "name");
   is >> spec.name;
@@ -292,7 +308,26 @@ ScenarioSpec ParseScenarioSpec(const std::string& text) {
   spec.node.initial_level_fraction = serdes::ReadDouble(is);
   spec.node.warmup_days = static_cast<std::size_t>(serdes::ReadU64(is));
   spec.initial_level_jitter = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "faults");
+  serdes::ExpectToken(is, "outage");
+  spec.faults.outage_rate_per_day = serdes::ReadDouble(is);
+  spec.faults.outage_mean_slots = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "dropout");
+  spec.faults.dropout_rate_per_day = serdes::ReadDouble(is);
+  spec.faults.dropout_mean_slots = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "panel");
+  spec.faults.panel_decay_per_day = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "aging");
+  spec.faults.battery_aging_per_day = serdes::ReadDouble(is);
+  serdes::ExpectToken(is, "recovery");
+  spec.faults.recovery_window_slots =
+      static_cast<std::size_t>(serdes::ReadU64(is));
   serdes::ExpectToken(is, "end-scenario");
+  // Trailing junk means these are not Describe() bytes — reject rather
+  // than silently ignoring what might be a second (dropped) spec.
+  std::string trailing;
+  SHEP_REQUIRE(!(is >> trailing),
+               "trailing content after end-scenario: " + trailing);
   spec.Validate();  // reject bytes no Describe() could have produced.
   return spec;
 }
@@ -357,6 +392,11 @@ ScenarioMatrix ExpandScenario(const ScenarioSpec& spec) {
           // storage cells of a site see identical weather (paired design).
           node.trace_seed = DeriveSeed(spec.seed, i_s, r);
           node.node_seed = DeriveSeed(spec.seed, cell.index + 0x10000, r);
+          // Own lane offset (0x20000 vs the node stream's 0x10000): fault
+          // schedules draw from a stream no other consumer touches, so a
+          // faulted campaign shares its weather and jitter draws with the
+          // healthy one bit for bit.
+          node.fault_seed = DeriveSeed(spec.seed, cell.index + 0x20000, r);
           node.initial_level_fraction = spec.node.initial_level_fraction;
           if (spec.initial_level_jitter > 0.0) {
             Rng rng(node.node_seed);

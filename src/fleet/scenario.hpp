@@ -28,6 +28,7 @@
 #include "core/ar.hpp"
 #include "core/predictor.hpp"
 #include "core/wcma.hpp"
+#include "fleet/faults.hpp"
 #include "mgmt/node_sim.hpp"
 
 namespace shep {
@@ -90,6 +91,9 @@ struct ScenarioSpec {
   /// Half-width of the uniform per-node jitter applied to
   /// node.initial_level_fraction (clamped to [0, 1]); 0 disables.
   double initial_level_jitter = 0.0;
+  /// Deterministic fault injection (fleet/faults.hpp); the default is a
+  /// healthy fleet, which reproduces fault-free results bit for bit.
+  FaultSpec faults;
 
   /// Throws std::invalid_argument when the spec cannot be expanded.
   void Validate() const;
@@ -135,6 +139,9 @@ struct FleetNodeConfig {
   std::uint64_t trace_seed = 0;
   /// Node-local stream seed; unique per node.
   std::uint64_t node_seed = 0;
+  /// Fault-schedule stream seed; its own lane (distinct from node_seed),
+  /// so enabling faults never shifts the jitter or weather draws.
+  std::uint64_t fault_seed = 0;
   /// Initial storage level after the per-node jitter draw.
   double initial_level_fraction = 0.5;
 };

@@ -112,6 +112,15 @@ ShardPlan BuildShardPlan(const ScenarioSpec& spec, std::size_t shard_size) {
   hash.Mix(s.node.initial_level_fraction);
   hash.Mix(static_cast<std::uint64_t>(s.node.warmup_days));
   hash.Mix(s.initial_level_jitter);
+  // Fault knobs change every result, so two campaigns differing only in a
+  // fault rate must refuse to merge.
+  hash.Mix(s.faults.outage_rate_per_day);
+  hash.Mix(s.faults.outage_mean_slots);
+  hash.Mix(s.faults.dropout_rate_per_day);
+  hash.Mix(s.faults.dropout_mean_slots);
+  hash.Mix(s.faults.panel_decay_per_day);
+  hash.Mix(s.faults.battery_aging_per_day);
+  hash.Mix(static_cast<std::uint64_t>(s.faults.recovery_window_slots));
   for (const TraceLanePlan& lane : plan.lanes) {
     hash.Mix(lane.site_code);
     hash.Mix(lane.trace_seed);

@@ -56,6 +56,18 @@ struct NodeSimResult {
   /// and downstream aggregation reports their cost as "n/a", not zero.
   bool has_compute_cost = false;
   PredictorComputeCost compute;     ///< cycle/op/prediction totals.
+  /// Graceful-degradation channel, populated only by fault-injected runs
+  /// (fleet/faults.hpp); healthy runs leave `faulted` false and downstream
+  /// aggregation renders no fault columns at all.  Outage slots are
+  /// excluded from `slots` and every scored total above — a dark node is
+  /// not violating, it is unavailable — and counted here instead.
+  bool faulted = false;
+  std::size_t downtime_slots = 0;   ///< post-warm-up slots spent in outage.
+  std::size_t recoveries = 0;       ///< post-warm-up outage→up transitions.
+  /// Scored slots inside the post-recovery window after each recovery, and
+  /// the violations among them: the re-warm-up cost of an outage.
+  std::size_t post_recovery_slots = 0;
+  std::size_t post_recovery_violations = 0;
 };
 
 /// Runs `predictor` over `series` through the controller and store.

@@ -40,6 +40,14 @@ struct NoSlotProbe {
   static constexpr bool kEnabled = false;
 };
 
+/// Disabled fault model: the default Faults argument of the kernel.  Like
+/// NoSlotProbe, kEnabled = false removes every fault branch via
+/// `if constexpr`, so a healthy instantiation compiles to exactly the
+/// pre-fault kernel (fleet/faults.hpp supplies the enabled FaultModel).
+struct NoFaultModel {
+  static constexpr bool kEnabled = false;
+};
+
 /// Runs `predictor` over `series` through the controller and store.  P is
 /// either a concrete final predictor class (static dispatch, the fleet hot
 /// path) or the abstract Predictor (virtual dispatch, the flexible entry).
@@ -48,12 +56,23 @@ struct NoSlotProbe {
 /// Probe is a per-slot observation hook with a `static constexpr bool
 /// kEnabled`; when enabled it is invoked once per simulated slot — warm-up
 /// slots included, AFTER the slot's physics but BEFORE any scoring — as
-/// probe(slot, violated, soc, predicted_w, actual_w, duty).  The probe
-/// only reads; simulation state and results never depend on it.
-template <class P, class Probe = NoSlotProbe>
+/// probe(slot, violated, soc, predicted_w, actual_w, duty, outage).  The
+/// probe only reads; simulation state and results never depend on it.
+///
+/// Faults is the injection hook (same kEnabled pattern), taken BY VALUE —
+/// its schedule cursors advance with the loop.  Semantics when enabled:
+/// outage slots suspend sampling, prediction, and load (the store only
+/// leaks) and are counted as downtime, never scored; the first up-slot
+/// after an outage Reset()s the predictor (a real node re-warms from
+/// scratch) and opens the post-recovery accounting window; dropout slots
+/// feed the predictor the last real observation (hold-last); panel decay
+/// scales each slot's harvest by its day factor; battery aging re-rates
+/// the usable capacity at each day boundary.  All schedule queries are
+/// index math — nothing here may allocate (this is a hot-path-alloc root).
+template <class P, class Probe = NoSlotProbe, class Faults = NoFaultModel>
 NodeSimResult SimulateNodeKernel(  // shep-lint: root(hot-path-alloc)
     P& predictor, const SlotSeries& series, const NodeSimConfig& config,
-    const Probe& probe = Probe{}) {
+    const Probe& probe = Probe{}, Faults faults = Faults{}) {
   config.duty.Validate();
   config.storage.Validate();
   SHEP_REQUIRE(config.initial_level_fraction >= 0.0 &&
@@ -91,13 +110,69 @@ NodeSimResult SimulateNodeKernel(  // shep-lint: root(hot-path-alloc)
   const double roi_threshold = RoiFilter{}.threshold_fraction *
                                series.peak_mean();
 
+  // Fault-path state; unused (and elided) in healthy instantiations.
+  const std::size_t slots_per_day = series.slots_per_day();
+  [[maybe_unused]] double last_obs = 0.0;          ///< hold-last sensor value.
+  [[maybe_unused]] bool was_down = false;
+  [[maybe_unused]] std::size_t recovery_deadline = 0;
+
   for (std::size_t g = 0; g + 1 < series.size(); ++g) {
+    if constexpr (Faults::kEnabled) {
+      // Day boundary: battery aging re-rates the usable capacity from here
+      // on (day 0's factor is 1.0, so a zero-aging spec never moves it).
+      if (g % slots_per_day == 0) {
+        store.SetCapacity(config.storage.capacity_j *
+                          faults.CapacityFactor(g / slots_per_day));
+      }
+      if (faults.Down(static_cast<std::uint32_t>(g))) {
+        // The node is dark: no sampling, no prediction, no load — only
+        // physics (self-discharge) continues.  The slot is downtime, not a
+        // scored slot; the warm-up snapshot below still has to happen here
+        // if the boundary lands inside the outage.
+        if (g == warmup_slots) {
+          overflow_before = store.total_overflow_j();
+          delivered_before = store.total_delivered_j();
+        }
+        store.Leak(slot_s);
+        if constexpr (Probe::kEnabled) {
+          probe(static_cast<std::uint32_t>(g), false, store.fraction(), 0.0,
+                series.mean(g), 0.0, true);
+        }
+        was_down = true;
+        if (g >= warmup_slots) ++result.downtime_slots;
+        continue;
+      }
+      if (was_down) {
+        // Recovery: a rebooted node has lost its learned state, so the
+        // predictor re-warms from scratch, and the slots until the
+        // recovery window closes are attributed to this recovery.
+        was_down = false;
+        predictor.Reset();
+        if (g >= warmup_slots) ++result.recoveries;
+        recovery_deadline = g + faults.recovery_window_slots();
+      }
+    }
+
     // Wake-up at the start of interval g: sample, predict, commit.
-    predictor.Observe(series.boundary(g));
+    if constexpr (Faults::kEnabled) {
+      double observed = series.boundary(g);
+      if (faults.Dropout(static_cast<std::uint32_t>(g))) {
+        observed = last_obs;  // sensor dropout: hold the last real reading.
+      } else {
+        last_obs = observed;
+      }
+      predictor.Observe(observed);
+    } else {
+      predictor.Observe(series.boundary(g));
+    }
     const double predicted_w = std::max(0.0, predictor.PredictNext());
     const double predicted_j = predicted_w * slot_s;
+    double usable_capacity_j = config.storage.capacity_j;
+    if constexpr (Faults::kEnabled) {
+      usable_capacity_j = store.params().capacity_j;  // aged capacity.
+    }
     const double duty = controller.DutyForSlot(
-        predicted_j, store.level_j(), config.storage.capacity_j);
+        predicted_j, store.level_j(), usable_capacity_j);
 
     // Snapshot the lifetime counters before the first scored slot happens,
     // so overflow_j/delivered_j cover exactly the same slots as the other
@@ -108,7 +183,10 @@ NodeSimResult SimulateNodeKernel(  // shep-lint: root(hot-path-alloc)
     }
 
     // The slot then actually happens.
-    const double harvest_j = series.mean(g) * slot_s;
+    double harvest_j = series.mean(g) * slot_s;
+    if constexpr (Faults::kEnabled) {
+      harvest_j *= faults.PanelFactor(g / slots_per_day);  // panel decay.
+    }
     const double demand_j = controller.ConsumptionJ(duty);
     store.Charge(harvest_j);
     const double delivered = store.Discharge(demand_j);
@@ -117,13 +195,19 @@ NodeSimResult SimulateNodeKernel(  // shep-lint: root(hot-path-alloc)
 
     if constexpr (Probe::kEnabled) {
       probe(static_cast<std::uint32_t>(g), violated, store.fraction(),
-            predicted_w, series.mean(g), duty);
+            predicted_w, series.mean(g), duty, false);
     }
 
     if (g < warmup_slots) continue;
 
     ++result.slots;
     if (violated) ++result.violations;
+    if constexpr (Faults::kEnabled) {
+      if (g < recovery_deadline) {
+        ++result.post_recovery_slots;
+        if (violated) ++result.post_recovery_violations;
+      }
+    }
     duty_sum += duty;
     duty_moments.Add(duty);
     result.harvested_j += harvest_j;
@@ -135,15 +219,25 @@ NodeSimResult SimulateNodeKernel(  // shep-lint: root(hot-path-alloc)
     }
   }
 
-  SHEP_CHECK(result.slots > 0, "simulation produced no scored slots");
-  const double n = static_cast<double>(result.slots);
-  result.violation_rate = static_cast<double>(result.violations) / n;
-  result.mean_duty = duty_sum / n;
-  result.duty_stddev = duty_moments.stddev();
-  result.overflow_j = store.total_overflow_j() - overflow_before;
-  result.delivered_j = store.total_delivered_j() - delivered_before;
-  if (result.mape_points > 0) {
-    result.mape = ape_sum / static_cast<double>(result.mape_points);
+  if constexpr (Faults::kEnabled) {
+    result.faulted = true;
+    // An extreme schedule can keep a node dark for every post-warm-up
+    // slot; that is downtime (availability 0), not a broken run.
+    SHEP_CHECK(result.slots + result.downtime_slots > 0,
+               "simulation produced no scored or downtime slots");
+  } else {
+    SHEP_CHECK(result.slots > 0, "simulation produced no scored slots");
+  }
+  if (result.slots > 0) {
+    const double n = static_cast<double>(result.slots);
+    result.violation_rate = static_cast<double>(result.violations) / n;
+    result.mean_duty = duty_sum / n;
+    result.duty_stddev = duty_moments.stddev();
+    result.overflow_j = store.total_overflow_j() - overflow_before;
+    result.delivered_j = store.total_delivered_j() - delivered_before;
+    if (result.mape_points > 0) {
+      result.mape = ape_sum / static_cast<double>(result.mape_points);
+    }
   }
   // MCU-cost channel: the backends that model deployment cost expose their
   // cumulative counters through the optional ComputeCostReporter interface;

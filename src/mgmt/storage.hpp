@@ -7,6 +7,10 @@
 // wastes harvest), charge inefficiency, and leakage.
 #pragma once
 
+#include <algorithm>
+
+#include "common/check.hpp"
+
 namespace shep {
 
 /// Parameters of the store.
@@ -37,6 +41,17 @@ class EnergyStorage {
 
   /// Applies self-discharge over `seconds`.
   void Leak(double seconds);
+
+  /// Re-rates the usable capacity (battery aging in the fleet fault
+  /// model).  Charge above an aged capacity becomes unusable and is
+  /// dropped from the level — capacity fade is not overflow, so the
+  /// lifetime counters are untouched.  Inline and allocation-free: the
+  /// node-sim kernel (a hot-path-alloc lint root) calls it per day.
+  void SetCapacity(double capacity_j) {
+    SHEP_REQUIRE(capacity_j > 0.0, "storage capacity must be positive");
+    params_.capacity_j = capacity_j;
+    level_j_ = std::min(level_j_, capacity_j);
+  }
 
   /// Lifetime accounting (joules).
   double total_overflow_j() const { return total_overflow_j_; }

@@ -35,6 +35,7 @@ void ApplyTracePolicy(const std::vector<TraceEvent>& events,
   // Nodes start with full storage, so the first slot can itself be a
   // downward low-water crossing.
   double prev_soc = 1.0;
+  bool prev_outage = false;  // nodes boot healthy.
   std::uint32_t trailing_violations = 0;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
@@ -48,7 +49,18 @@ void ApplyTracePolicy(const std::vector<TraceEvent>& events,
     }
     prev_soc = e.soc;
 
-    if (e.actual_w > kNightEpsilonW &&
+    // Injected-outage edges (both going dark and coming back) keep their
+    // surrounding window at full detail: the slots just before an outage
+    // and the post-recovery re-warm-up are exactly what a degradation
+    // investigation needs.
+    if (e.outage != prev_outage) {
+      PaintWindow(masks, i, config.window_slots, kTraceTriggerOutage);
+    }
+    prev_outage = e.outage;
+
+    // A dark node predicts nothing — its zeroed prediction is an outage
+    // artifact, not predictor divergence.
+    if (!e.outage && e.actual_w > kNightEpsilonW &&
         std::abs(e.predicted_w - e.actual_w) >
             config.divergence_mape * e.actual_w) {
       PaintWindow(masks, i, config.window_slots, kTraceTriggerDivergence);

@@ -9,9 +9,9 @@ namespace shep {
 
 namespace {
 
-constexpr std::uint32_t kAllTriggers = kTraceTriggerViolationBurst |
-                                       kTraceTriggerSocLowWater |
-                                       kTraceTriggerDivergence;
+constexpr std::uint32_t kAllTriggers =
+    kTraceTriggerViolationBurst | kTraceTriggerSocLowWater |
+    kTraceTriggerDivergence | kTraceTriggerOutage;
 
 /// Reads a token already extracted as u64 and narrows it with a range
 /// check — a 2^40 "slot" in a trace file is corruption, not data.
@@ -39,6 +39,8 @@ const char* TraceTriggerName(TraceTrigger trigger) {
       return "soc-low-water";
     case kTraceTriggerDivergence:
       return "divergence";
+    case kTraceTriggerOutage:
+      return "outage";
   }
   return "unknown";
 }
@@ -46,7 +48,7 @@ const char* TraceTriggerName(TraceTrigger trigger) {
 std::uint32_t TraceTriggerFromName(const std::string& name) {
   for (const TraceTrigger t :
        {kTraceTriggerViolationBurst, kTraceTriggerSocLowWater,
-        kTraceTriggerDivergence}) {
+        kTraceTriggerDivergence, kTraceTriggerOutage}) {
     if (name == TraceTriggerName(t)) return t;
   }
   return 0;
@@ -56,7 +58,7 @@ std::string TraceTriggerMaskName(std::uint32_t mask) {
   std::string joined;
   for (const TraceTrigger t :
        {kTraceTriggerViolationBurst, kTraceTriggerSocLowWater,
-        kTraceTriggerDivergence}) {
+        kTraceTriggerDivergence, kTraceTriggerOutage}) {
     if ((mask & t) == 0) continue;
     if (!joined.empty()) joined += '+';
     joined += TraceTriggerName(t);

@@ -33,6 +33,7 @@ enum TraceTrigger : std::uint32_t {
   kTraceTriggerViolationBurst = 1u << 0,  ///< violation pile-up in a window.
   kTraceTriggerSocLowWater = 1u << 1,     ///< SoC crossed the low-water mark.
   kTraceTriggerDivergence = 1u << 2,      ///< predictor error spiked.
+  kTraceTriggerOutage = 1u << 3,          ///< injected outage began or ended.
 };
 
 /// Display name of a single trigger bit ("violation-burst", ...).

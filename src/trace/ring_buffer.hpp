@@ -35,6 +35,7 @@ struct TraceEvent {
 
   Kind kind = Kind::kSlot;
   bool violated = false;
+  bool outage = false;  ///< the node was dark this slot (fault injection).
   std::uint32_t slot = 0;
   std::uint64_t shard = 0;
   std::uint64_t node = 0;

@@ -48,6 +48,12 @@ struct TraceSinkOptions {
   std::string directory;
   /// Per-worker ring capacity in events (rounded up to a power of two).
   std::size_t ring_capacity = 1 << 14;
+  /// When true, probes spin-yield on a full ring instead of dropping the
+  /// event.  Default off: production tracing never blocks the simulation
+  /// (a full ring drops AND counts).  bench_fleet turns it on so the
+  /// traced run it prices is complete — a drain briefly lagging sixteen
+  /// hot producers shows up as measured backpressure, not missing events.
+  bool block_on_full = false;
   /// How long the drain sleeps when every ring comes up empty.
   std::uint32_t drain_idle_micros = 200;
   TracePolicyConfig policy;

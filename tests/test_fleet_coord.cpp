@@ -228,6 +228,40 @@ TEST(RunFleetCoordinated, FourWorkersMatchSingleProcessBitIdentically) {
   EXPECT_EQ(stats.shards_reassigned, 0u);
 }
 
+TEST(RunFleetCoordinated, FaultedCampaignMergesBitIdentically) {
+  SHEP_SKIP_WITHOUT_WORKER();
+  // The fault spec travels inside the scenario's v2 text form, so every
+  // worker rebuilds the same per-node fault schedules and the coordinated
+  // merge must reproduce the monolithic faulted run bit for bit —
+  // including the graceful-degradation columns that only faulted runs
+  // render.
+  ScenarioSpec spec = CoordSpec();
+  spec.name = "coordinated_faulted";
+  spec.faults.outage_rate_per_day = 0.3;
+  spec.faults.outage_mean_slots = 6.0;
+  spec.faults.dropout_rate_per_day = 0.5;
+  spec.faults.dropout_mean_slots = 4.0;
+  spec.faults.panel_decay_per_day = 0.001;
+  spec.faults.battery_aging_per_day = 0.002;
+
+  FleetRunOptions mono_options;
+  mono_options.shard_size = kShardSize;
+  const FleetSummary mono = RunFleet(spec, mono_options);
+
+  FleetCoordStats stats;
+  const FleetSummary summary =
+      RunFleetCoordinated(spec, BaseOptions(), &stats);
+  ExpectSummaryBitIdentical(summary, mono);
+  for (const CellAccumulator& cell : summary.stats) {
+    EXPECT_TRUE(cell.has_fault_stats());
+  }
+  EXPECT_NE(summary.ToCsv().find("availability"), std::string::npos);
+  // Under CI load a slow worker can trip a deadline and be respawned —
+  // that must never cost bit-identity, so only the floor is pinned.
+  EXPECT_GE(stats.workers_spawned, 4u);
+  EXPECT_EQ(stats.corrupt_frames, 0u);
+}
+
 TEST(RunFleetCoordinated, SurvivesASigkilledWorker) {
   SHEP_SKIP_WITHOUT_WORKER();
   FleetCoordOptions options = BaseOptions();

@@ -204,6 +204,13 @@ TEST(SerdesCell, EdgeValueCellRoundTripsThroughText) {
   result.mape_points = 1;
   result.violations = 7;
   result.slots = 48;
+  // Graceful-degradation channel at its edges too: an almost-always-dark
+  // node whose every post-recovery slot violated.
+  result.faulted = true;
+  result.downtime_slots = 0xFFFFFFFFull;
+  result.recoveries = 3;
+  result.post_recovery_slots = 5;
+  result.post_recovery_violations = 5;
   acc.Add(result);
   acc.violation_hist.Add(std::numeric_limits<double>::quiet_NaN());
 
@@ -216,6 +223,12 @@ TEST(SerdesCell, EdgeValueCellRoundTripsThroughText) {
   EXPECT_EQ(back.violation_hist.nan_count(), acc.violation_hist.nan_count());
   EXPECT_TRUE(BitIdentical(acc.mape.mean, back.mape.mean));
   EXPECT_TRUE(BitIdentical(acc.mean_duty.min, back.mean_duty.min));
+  EXPECT_EQ(back.downtime_slots, acc.downtime_slots);
+  EXPECT_EQ(back.recoveries, acc.recoveries);
+  EXPECT_TRUE(back.has_fault_stats());
+  EXPECT_TRUE(BitIdentical(acc.availability.mean, back.availability.mean));
+  EXPECT_TRUE(BitIdentical(acc.post_recovery_violation_rate.mean,
+                           back.post_recovery_violation_rate.mean));
 }
 
 }  // namespace

@@ -122,9 +122,9 @@ TEST(TraceRecordSerde, RejectsMalformedRecords) {
     std::istringstream is("slit 1 2 3 0 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0");
     EXPECT_THROW((void)TraceRecord::Deserialize(is), std::exception);
   }
-  // Unknown trigger bit (8 is outside the defined mask).
+  // Unknown trigger bit (16 is outside the defined mask).
   {
-    std::istringstream is("slot 1 2 3 8 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0");
+    std::istringstream is("slot 1 2 3 16 0 0x0p+0 0x0p+0 0x0p+0 0x0p+0");
     EXPECT_THROW((void)TraceRecord::Deserialize(is), std::exception);
   }
   // Violation flag must be 0/1.
@@ -147,15 +147,15 @@ TEST(TraceRecordSerde, RejectsMalformedRecords) {
 TEST(TraceRecordSerde, TriggerNamesRoundTrip) {
   for (const TraceTrigger t :
        {kTraceTriggerViolationBurst, kTraceTriggerSocLowWater,
-        kTraceTriggerDivergence}) {
+        kTraceTriggerDivergence, kTraceTriggerOutage}) {
     EXPECT_EQ(TraceTriggerFromName(TraceTriggerName(t)), t);
   }
   EXPECT_EQ(TraceTriggerFromName("not-a-trigger"), 0u);
   EXPECT_EQ(TraceTriggerMaskName(0), "-");
   EXPECT_EQ(
       TraceTriggerMaskName(kTraceTriggerViolationBurst |
-                           kTraceTriggerDivergence),
-      "violation-burst+divergence");
+                           kTraceTriggerDivergence | kTraceTriggerOutage),
+      "violation-burst+divergence+outage");
 }
 
 TEST(TraceFileSerde, ShardFileRoundTripsExactly) {

@@ -345,6 +345,31 @@ TEST(TraceSinkFleet, OverflowingRingDropsLoudlyAndChangesNothing) {
   EXPECT_EQ(dropped, stats.trace_dropped);
 }
 
+TEST(TraceSinkFleet, BlockOnFullTradesDropsForBackpressure) {
+  // Same starved configuration as the overflow test — a 16-slot ring and a
+  // sleepy drain — but with backpressure on: the probes wait for the drain
+  // instead of dropping, so the event stream is complete and the summary
+  // still matches the untraced bytes (the mode bench_fleet prices).
+  const ScenarioSpec spec = TracedSpec();
+  const std::string untraced = SummaryBytes(RunFleet(spec));
+
+  TraceSinkOptions options;
+  options.ring_capacity = 16;
+  options.drain_idle_micros = 2000;
+  options.block_on_full = true;
+  TraceSink sink(options);
+  FleetRunOptions run;
+  run.trace_sink = &sink;
+  FleetRunStats stats;
+  const FleetSummary summary = RunFleet(spec, run, &stats);
+
+  EXPECT_EQ(stats.trace_dropped, 0u);
+  EXPECT_EQ(SummaryBytes(summary), untraced);
+  const std::uint64_t slots_per_node =
+      static_cast<std::uint64_t>(spec.days) * spec.slots_per_day - 1;
+  EXPECT_EQ(stats.trace_events, spec.node_count() * slots_per_node);
+}
+
 // Regression: EndShard used to spin forever whenever no drain thread
 // would ever make room — a sink whose drain never started (no BeginRun)
 // or was already stopping left the caller retrying a full ring for good.

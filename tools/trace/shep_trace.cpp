@@ -12,7 +12,7 @@
 // Filters: --site CODE, --predictor LABEL, --cell ID (repeatable),
 //          --node ID, --slots BEGIN:END (END exclusive; either side may be
 //          empty), --trigger NAME (violation-burst | soc-low-water |
-//          divergence; repeatable, matches any).
+//          divergence | outage; repeatable, matches any).
 // Output:  aligned table by default, --csv for machine consumption.
 #include <algorithm>
 #include <cstdint>
